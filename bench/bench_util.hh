@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Every binary prints the rows/series of one table or figure of the
+ * paper. Absolute numbers depend on the simulated substrate; the
+ * *shape* (who wins, by roughly what factor) is the reproduction
+ * target (see EXPERIMENTS.md).
+ *
+ * All binaries accept: [ops_per_thread] as argv[1] (default below).
+ */
+
+#ifndef PMEMSPEC_BENCH_BENCH_UTIL_HH
+#define PMEMSPEC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace pmemspec::bench
+{
+
+/** Default FASEs per thread (the paper runs 100K; throughput is
+ *  steady-state, so a few hundred per thread give the same shape in
+ *  seconds instead of hours). */
+constexpr std::uint64_t defaultOps = 400;
+
+inline std::uint64_t
+opsFromArgv(int argc, char **argv, std::uint64_t fallback = defaultOps)
+{
+    if (argc > 1) {
+        const long v = std::atol(argv[1]);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+    }
+    return fallback;
+}
+
+inline workloads::WorkloadParams
+params(unsigned threads, std::uint64_t ops)
+{
+    workloads::WorkloadParams p;
+    p.numThreads = threads;
+    p.opsPerThread = ops;
+    p.seed = 1;
+    return p;
+}
+
+/** One normalised row: benchmark name + value per design. */
+inline void
+printHeader(const char *title)
+{
+    std::printf("# %s\n", title);
+    std::printf("%-12s %10s %10s %10s %10s\n", "benchmark", "IntelX86",
+                "DPO", "HOPS", "PMEM-Spec");
+}
+
+inline void
+printRow(const std::string &name,
+         const std::map<persistency::Design, double> &norm)
+{
+    using persistency::Design;
+    std::printf("%-12s %10.3f %10.3f %10.3f %10.3f\n", name.c_str(),
+                norm.at(Design::IntelX86), norm.at(Design::DPO),
+                norm.at(Design::HOPS), norm.at(Design::PmemSpec));
+    std::fflush(stdout);
+}
+
+inline void
+printGeomeanRow(const std::vector<std::map<persistency::Design,
+                                           double>> &rows)
+{
+    using persistency::Design;
+    std::map<Design, double> gm;
+    for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
+                     Design::PmemSpec}) {
+        std::vector<double> vals;
+        for (const auto &r : rows)
+            vals.push_back(r.at(d));
+        gm[d] = geomean(vals);
+    }
+    printRow("GEOMEAN", gm);
+}
+
+} // namespace pmemspec::bench
+
+#endif // PMEMSPEC_BENCH_BENCH_UTIL_HH

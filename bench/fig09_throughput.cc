@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 9: throughput of the four designs on the eight Table 4
+ * benchmarks in the 8-core system, normalised to IntelX86.
+ *
+ * Expected shape (paper): PMEM-Spec > HOPS > IntelX86 > DPO on
+ * average; Queue/Hashmap show the smallest gains; DPO sits below the
+ * baseline everywhere.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmemspec;
+    using namespace pmemspec::bench;
+
+    const auto ops = opsFromArgv(argc, argv);
+    const auto machine = core::defaultMachineConfig(8);
+
+    printHeader("Figure 9: normalised throughput, 8 cores");
+    std::vector<std::map<persistency::Design, double>> rows;
+    for (auto b : workloads::allBenchmarks()) {
+        auto norm =
+            core::runNormalized(b, machine, params(8, ops));
+        printRow(workloads::benchName(b), norm);
+        rows.push_back(std::move(norm));
+    }
+    printGeomeanRow(rows);
+    return 0;
+}

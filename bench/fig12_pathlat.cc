@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 12: sensitivity to the persist-path latency (20..100ns) for
+ * HOPS and PMEM-Spec, reported as the geomean over the Table 4
+ * benchmarks normalised to the IntelX86 baseline (whose regular path
+ * is unaffected by the sweep).
+ *
+ * Expected shape (paper): both designs stay above the baseline even
+ * at 100ns, because the durability barriers are infrequent.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmemspec;
+    using namespace pmemspec::bench;
+    using persistency::Design;
+
+    const auto ops = opsFromArgv(argc, argv);
+
+    // Baseline (IntelX86) throughput per benchmark, computed once.
+    std::map<workloads::BenchId, double> baseline;
+    for (auto b : workloads::allBenchmarks()) {
+        core::ExperimentConfig cfg;
+        cfg.bench = b;
+        cfg.design = Design::IntelX86;
+        cfg.machine = core::defaultMachineConfig(8);
+        cfg.workload = params(8, ops);
+        baseline[b] = core::runExperiment(cfg).throughput;
+    }
+
+    std::printf("# Figure 12: persist-path latency sweep (8 cores), "
+                "geomean normalised to IntelX86\n");
+    std::printf("%-14s %10s %10s\n", "latency(ns)", "HOPS",
+                "PMEM-Spec");
+    for (unsigned lat : {20u, 40u, 60u, 80u, 100u}) {
+        std::map<Design, double> gm;
+        for (Design d : {Design::HOPS, Design::PmemSpec}) {
+            std::vector<double> norms;
+            for (auto b : workloads::allBenchmarks()) {
+                core::ExperimentConfig cfg;
+                cfg.bench = b;
+                cfg.design = d;
+                cfg.machine = core::defaultMachineConfig(8);
+                cfg.machine.mem.persistPathLatency = nsToTicks(lat);
+                // The ring-bus window scales with the idle latency.
+                cfg.machine.mem.speculationWindow = 0;
+                cfg.workload = params(8, ops);
+                norms.push_back(core::runExperiment(cfg).throughput /
+                                baseline[b]);
+            }
+            gm[d] = geomean(norms);
+        }
+        std::printf("%-14u %10.3f %10.3f\n", lat, gm[Design::HOPS],
+                    gm[Design::PmemSpec]);
+        std::fflush(stdout);
+    }
+    return 0;
+}

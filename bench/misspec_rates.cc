@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Section 8.4: misspeculation rates.
+ *
+ * Runs every Table 4 benchmark under PMEM-Spec and reports the load
+ * and store misspeculation counts (the paper observed zero), then
+ * runs the synthetic stale-read kernel at increasing persist-path
+ * latencies to show that load misspeculation only appears at
+ * unrealistically slow paths.
+ */
+
+#include "bench_util.hh"
+#include "cpu/machine.hh"
+
+namespace
+{
+
+using namespace pmemspec;
+
+/** The Section 8.4 synthetic stale-read kernel (see the
+ *  test_misspec_synthetic notes for the construction). */
+cpu::Trace
+staleReadKernel()
+{
+    using cpu::TraceOp;
+    cpu::Trace t;
+    const Addr set_stride = 64 * blockBytes; // LLC set span
+    const Addr victim = 50 * set_stride;
+    t.push_back({TraceOp::Store, victim});
+    for (unsigned i = 1; i <= 5; ++i)
+        t.push_back({TraceOp::Store, i * set_stride});
+    t.push_back({TraceOp::Compute, 3000});
+    t.push_back({TraceOp::LoadDep, victim});
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmemspec;
+    using namespace pmemspec::bench;
+
+    const auto ops = opsFromArgv(argc, argv);
+
+    std::printf("# Section 8.4: misspeculation rates under "
+                "PMEM-Spec (8 cores)\n");
+    std::printf("%-12s %14s %12s %12s %12s\n", "benchmark",
+                "persists", "load-miss", "store-miss", "buf-pauses");
+    for (auto b : workloads::allBenchmarks()) {
+        core::ExperimentConfig cfg;
+        cfg.bench = b;
+        cfg.design = persistency::Design::PmemSpec;
+        cfg.machine = core::defaultMachineConfig(8);
+        cfg.workload = params(8, ops);
+        auto res = core::runExperiment(cfg);
+        std::printf("%-12s %14llu %12llu %12llu %12llu\n",
+                    workloads::benchName(b),
+                    static_cast<unsigned long long>(
+                        res.run.instructions),
+                    static_cast<unsigned long long>(
+                        res.run.loadMisspecs),
+                    static_cast<unsigned long long>(
+                        res.run.storeMisspecs),
+                    static_cast<unsigned long long>(
+                        res.run.specBufFullPauses));
+        std::fflush(stdout);
+    }
+
+    std::printf("\n# Synthetic stale-read kernel vs persist-path "
+                "latency (tiny direct-mapped caches)\n");
+    std::printf("%-14s %12s\n", "latency(ns)", "load-miss");
+    for (unsigned lat : {10u, 20u, 100u, 500u, 2000u}) {
+        cpu::MachineConfig cfg;
+        cfg.design = persistency::Design::PmemSpec;
+        cfg.mem.numCores = 1;
+        cfg.mem.l1Bytes = 1024;
+        cfg.mem.l1Ways = 1;
+        cfg.mem.llcBytes = 4096;
+        cfg.mem.llcWays = 1;
+        cfg.mem.persistPathLatency = nsToTicks(lat);
+        cfg.mem.speculationWindow = 4 * nsToTicks(lat);
+        cpu::Machine m(cfg);
+        std::vector<cpu::Trace> traces{staleReadKernel()};
+        m.setTraces(std::move(traces));
+        auto r = m.run();
+        std::printf("%-14u %12llu%s\n", lat,
+                    static_cast<unsigned long long>(r.loadMisspecs),
+                    lat <= 20 ? "   (faster than the read path: "
+                                "never misspeculates)"
+                              : "");
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A persistent key-value store session with crash injection: the
+ * memcached-like KvStore over the failure-atomic runtime. SETs that
+ * committed survive every crash; a SET interrupted mid-flight is
+ * rolled back as a unit -- the GET path never observes a torn value.
+ *
+ *   $ ./persistent_kv
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "pmds/kv_store.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+int
+main()
+{
+    using namespace pmemspec;
+    using namespace pmemspec::runtime;
+
+    PersistentMemory pm(1 << 24);
+    VirtualOs os;
+    FaseRuntime rt(pm, os, 1, RecoveryPolicy::Lazy, 1 << 17);
+    pmds::KvConfig kc;
+    kc.buckets = 256;
+    kc.valueBytes = 1024;
+    pmds::KvStore kv(pm, kc);
+
+    struct PowerFailure
+    {
+    };
+    Rng rng(2026);
+    unsigned committed = 0, torn = 0, crashes = 0;
+
+    for (std::uint64_t op = 0; op < 2000; ++op) {
+        const std::uint64_t key = rng.below(64);
+        const auto fill = static_cast<std::uint8_t>(op & 0xff);
+        try {
+            rt.runFase(0, [&](Transaction &tx) {
+                kv.set(tx, key, fill);
+                if (rng.chance(0.05)) {
+                    // Pull the plug mid-SET with a random number of
+                    // in-flight persists applied (strict persistency
+                    // loses an in-order suffix).
+                    pm.crash(rng.below(pm.inFlightCount() + 1));
+                    throw PowerFailure{};
+                }
+            });
+            ++committed;
+        } catch (const PowerFailure &) {
+            ++crashes;
+            rt.recoverAll();
+        }
+        // Every present value must be whole; get() verifies and
+        // panics on a torn value.
+        rt.runFase(0, [&](Transaction &tx) {
+            auto v = kv.get(tx, key);
+            if (v && *v != fill && *v != static_cast<std::uint8_t>(0))
+                ; // stale-but-whole value from a rolled-back SET: fine
+            (void)v;
+        });
+        torn += 0; // kv.get would have panicked on a torn read
+    }
+
+    std::printf("persistent_kv: %u SETs committed, %u power "
+                "failures injected, 0 torn reads\n",
+                committed, crashes);
+    std::printf("store size %zu, LRU consistent: %s\n", kv.size(),
+                kv.checkInvariants() ? "yes" : "NO");
+    return kv.checkInvariants() ? 0 : 1;
+}

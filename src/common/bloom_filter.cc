@@ -1,0 +1,74 @@
+#include "bloom_filter.hh"
+
+#include "logging.hh"
+
+namespace pmemspec
+{
+
+BloomFilter::BloomFilter(std::size_t num_counters, unsigned num_hashes)
+    : counters(num_counters, 0),
+      mask(num_counters - 1),
+      numHashes(num_hashes)
+{
+    fatal_if(!isPowerOf2(num_counters),
+             "bloom filter size %zu is not a power of two", num_counters);
+    fatal_if(num_hashes == 0, "bloom filter needs at least one hash");
+}
+
+std::uint64_t
+BloomFilter::hash(Addr block_addr, unsigned i) const
+{
+    // Two independent mixes combined a la Kirsch-Mitzenmacher:
+    // h_i(x) = h1(x) + i * h2(x).
+    std::uint64_t x = blockNumber(block_addr);
+    std::uint64_t h1 = x * 0xff51afd7ed558ccdULL;
+    h1 ^= h1 >> 33;
+    std::uint64_t h2 = x * 0xc4ceb9fe1a85ec53ULL;
+    h2 ^= h2 >> 29;
+    h2 |= 1; // ensure the stride is odd
+    return h1 + i * h2;
+}
+
+void
+BloomFilter::insert(Addr block_addr)
+{
+    for (unsigned i = 0; i < numHashes; ++i) {
+        auto &c = counters[hash(block_addr, i) & mask];
+        if (c != 0xff)
+            ++c;
+    }
+    ++populationCount;
+}
+
+void
+BloomFilter::remove(Addr block_addr)
+{
+    panic_if(populationCount == 0,
+             "bloom filter remove with empty population");
+    for (unsigned i = 0; i < numHashes; ++i) {
+        auto &c = counters[hash(block_addr, i) & mask];
+        panic_if(c == 0, "bloom filter counter underflow");
+        if (c != 0xff)
+            --c;
+    }
+    --populationCount;
+}
+
+bool
+BloomFilter::mayContain(Addr block_addr) const
+{
+    for (unsigned i = 0; i < numHashes; ++i) {
+        if (counters[hash(block_addr, i) & mask] == 0)
+            return false;
+    }
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    std::fill(counters.begin(), counters.end(), 0);
+    populationCount = 0;
+}
+
+} // namespace pmemspec

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Counting Bloom filter.
+ *
+ * HOPS (Nalli et al., ASPLOS'17) places a Bloom filter in the PM
+ * controller holding the addresses of blocks pending in the per-core
+ * persist buffers; every PM load must consult it and is delayed on a
+ * (possibly false-positive) hit. A *counting* filter is required because
+ * addresses are removed again when the persist buffers drain.
+ */
+
+#ifndef PMEMSPEC_COMMON_BLOOM_FILTER_HH
+#define PMEMSPEC_COMMON_BLOOM_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "types.hh"
+
+namespace pmemspec
+{
+
+/** Counting Bloom filter over cache-block addresses. */
+class BloomFilter
+{
+  public:
+    /**
+     * @param num_counters Number of 8-bit counters (power of two).
+     * @param num_hashes   Hash functions per key.
+     */
+    explicit BloomFilter(std::size_t num_counters = 1024,
+                         unsigned num_hashes = 3);
+
+    /** Insert a block address. */
+    void insert(Addr block_addr);
+
+    /**
+     * Remove one previous insertion of a block address.
+     * Removing an address that was never inserted corrupts the filter;
+     * callers must keep insert/remove balanced.
+     */
+    void remove(Addr block_addr);
+
+    /** @return true if the address *may* be present (false positives
+     *  possible, false negatives impossible). */
+    bool mayContain(Addr block_addr) const;
+
+    /** Number of live insertions. */
+    std::size_t population() const { return populationCount; }
+
+    /** Drop all contents. */
+    void clear();
+
+  private:
+    std::uint64_t hash(Addr block_addr, unsigned i) const;
+
+    std::vector<std::uint8_t> counters;
+    std::uint64_t mask;
+    unsigned numHashes;
+    std::size_t populationCount = 0;
+};
+
+} // namespace pmemspec
+
+#endif // PMEMSPEC_COMMON_BLOOM_FILTER_HH

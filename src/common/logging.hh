@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  -- an internal invariant of the simulator was violated; abort.
+ * fatal()  -- the user supplied an impossible configuration; exit(1).
+ * warn()   -- something is modelled approximately; keep running.
+ * inform() -- neutral progress information.
+ */
+
+#ifndef PMEMSPEC_COMMON_LOGGING_HH
+#define PMEMSPEC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pmemspec
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace pmemspec
+
+#define panic(...)                                                       \
+    ::pmemspec::detail::panicImpl(__FILE__, __LINE__,                    \
+        ::pmemspec::detail::format(__VA_ARGS__))
+
+#define fatal(...)                                                       \
+    ::pmemspec::detail::fatalImpl(__FILE__, __LINE__,                    \
+        ::pmemspec::detail::format(__VA_ARGS__))
+
+#define warn(...)                                                        \
+    ::pmemspec::detail::warnImpl(::pmemspec::detail::format(__VA_ARGS__))
+
+#define inform(...)                                                      \
+    ::pmemspec::detail::informImpl(                                      \
+        ::pmemspec::detail::format(__VA_ARGS__))
+
+/** panic() unless the given simulator invariant holds. */
+#define panic_if(cond, ...)                                              \
+    do {                                                                 \
+        if (cond)                                                        \
+            panic(__VA_ARGS__);                                          \
+    } while (0)
+
+/** fatal() unless the given user-facing precondition holds. */
+#define fatal_if(cond, ...)                                              \
+    do {                                                                 \
+        if (cond)                                                        \
+            fatal(__VA_ARGS__);                                          \
+    } while (0)
+
+#endif // PMEMSPEC_COMMON_LOGGING_HH

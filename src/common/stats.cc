@@ -1,0 +1,116 @@
+#include "stats.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace pmemspec
+{
+
+Histogram::Histogram(double lo_, double hi_, std::size_t buckets)
+    : lo(lo_), hi(hi_),
+      width(buckets ? (hi_ - lo_) / buckets : 1),
+      bins(buckets, 0)
+{
+    fatal_if(hi_ <= lo_ || buckets == 0,
+             "histogram needs hi > lo and at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total;
+    sum += v;
+    if (v < lo) {
+        ++underflow;
+    } else if (v >= hi) {
+        ++overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        if (idx >= bins.size())
+            idx = bins.size() - 1; // fp rounding at the upper edge
+        ++bins[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    underflow = overflow = total = 0;
+    sum = 0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent_)
+    : groupName(std::move(name)), parent(parent_)
+{
+    if (parent)
+        parent->children.push_back(this);
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    counters.push_back({name, c, desc});
+}
+
+void
+StatGroup::addAccumulator(const std::string &name, const Accumulator *a,
+                          const std::string &desc)
+{
+    accums.push_back({name, a, desc});
+}
+
+std::string
+StatGroup::fullName() const
+{
+    if (!parent)
+        return groupName;
+    return parent->fullName() + "." + groupName;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = fullName();
+    for (const auto &e : counters) {
+        os << prefix << '.' << e.name << ' ' << e.counter->value();
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << '\n';
+    }
+    for (const auto &e : accums) {
+        os << prefix << '.' << e.name << ".mean " << e.accum->mean()
+           << " (n=" << e.accum->samples() << ")";
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << '\n';
+    }
+    for (const auto *child : children)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : counters)
+        const_cast<Counter *>(e.counter)->reset();
+    for (auto &e : accums)
+        const_cast<Accumulator *>(e.accum)->reset();
+    for (auto *child : children)
+        child->resetAll();
+}
+
+double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : vals)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(vals.size()));
+}
+
+} // namespace pmemspec

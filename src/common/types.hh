@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fundamental scalar types and address arithmetic shared by every
+ * pmemspec library.
+ *
+ * The simulation measures time in integral picoseconds (Tick) so that a
+ * 2 GHz core clock (500 ps) and the nanosecond-granularity device
+ * latencies of the paper's Table 3 can both be represented exactly.
+ */
+
+#ifndef PMEMSPEC_COMMON_TYPES_HH
+#define PMEMSPEC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pmemspec
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** CPU clock cycles (frequency-dependent; see sim::Clock). */
+using Cycles = std::uint64_t;
+
+/** Physical byte address inside the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a hardware thread / core. */
+using CoreId = std::uint32_t;
+
+/** Monotonically increasing speculation ID (Section 5.2.2). */
+using SpecId = std::uint32_t;
+
+/** Ticks per nanosecond. */
+constexpr Tick ticksPerNs = 1000;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * ticksPerNs);
+}
+
+/** Cache block size used throughout the memory system (bytes). */
+constexpr unsigned blockBytes = 64;
+
+/** log2(blockBytes). */
+constexpr unsigned blockShift = 6;
+
+/** Align an address down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Byte offset of an address within its cache block. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (blockBytes - 1));
+}
+
+/** Block number (address / 64). */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> blockShift;
+}
+
+/** True iff x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); x must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned l = 0;
+    while (x >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace pmemspec
+
+#endif // PMEMSPEC_COMMON_TYPES_HH

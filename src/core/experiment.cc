@@ -1,0 +1,96 @@
+#include "experiment.hh"
+
+#include "common/logging.hh"
+#include "persistency/lowering.hh"
+
+namespace pmemspec::core
+{
+
+using persistency::Design;
+
+cpu::MachineConfig
+defaultMachineConfig(unsigned num_cores)
+{
+    cpu::MachineConfig m;
+    m.mem.numCores = num_cores;
+    return m; // every default already encodes Table 3
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    cpu::MachineConfig machine = cfg.machine;
+    machine.design = cfg.design;
+    machine.mem.numCores = cfg.workload.numThreads;
+    // HOPS pays one extra bus cycle between private and shared
+    // caches for the sticky-M bit, on both the request and the
+    // response crossing (Section 8.2.2).
+    machine.mem.l1ToLlcExtra =
+        (cfg.design == Design::HOPS) ? nsToTicks(1.0) : 0;
+
+    auto logical = workloads::generateTraces(cfg.bench, cfg.workload);
+    std::vector<cpu::Trace> traces;
+    traces.reserve(logical.size());
+    for (const auto &lt : logical)
+        traces.push_back(persistency::lower(lt, cfg.design));
+
+    cpu::Machine m(machine);
+    m.setTraces(std::move(traces));
+
+    ExperimentResult res;
+    res.run = m.run();
+    res.throughput = res.run.throughput();
+    return res;
+}
+
+std::map<Design, double>
+runNormalized(workloads::BenchId bench,
+              const cpu::MachineConfig &machine,
+              const workloads::WorkloadParams &params)
+{
+    std::map<Design, double> out;
+    double baseline = 0;
+    for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
+                     Design::PmemSpec}) {
+        ExperimentConfig cfg;
+        cfg.bench = bench;
+        cfg.design = d;
+        cfg.machine = machine;
+        cfg.workload = params;
+        const double tput = runExperiment(cfg).throughput;
+        if (d == Design::IntelX86) {
+            baseline = tput;
+            panic_if(baseline <= 0, "zero baseline throughput");
+        }
+        out[d] = tput / baseline;
+    }
+    return out;
+}
+
+void
+printConfig(std::ostream &os, const cpu::MachineConfig &cfg)
+{
+    const auto &m = cfg.mem;
+    os << "Core            " << cfg.core.freqGhz << "GHz, "
+       << cfg.core.issueWidth << "way-OoO (approx)\n"
+       << "                " << cfg.core.sqEntries
+       << "-entry Ld/St Queue, MLP " << cfg.core.maxLoads << "\n"
+       << "L1 D Cache      " << m.l1Bytes / 1024 << "KB, " << m.l1Ways
+       << "-way, private, " << m.l1HitLatency / ticksPerNs
+       << "ns hit latency\n"
+       << "L2 Cache        " << m.llcBytes / (1024 * 1024) << "MB, "
+       << m.llcWays << "-way, shared, "
+       << m.llcHitLatency / ticksPerNs << "ns hit latency\n"
+       << "PM Controller   " << m.pmcReadQueue << "/" << m.pmcWriteQueue
+       << "-entry read/write queue, " << m.specBufferEntries
+       << "-entry speculation buffer\n"
+       << "PM              Read = " << m.pmReadLatency / ticksPerNs
+       << "ns / Write = " << m.pmWriteLatency / ticksPerNs << "ns, "
+       << m.pmBanks << " banks\n"
+       << "Persist-Path    " << m.persistPathLatency / ticksPerNs
+       << "ns (speculation window "
+       << m.effectiveSpecWindow() / ticksPerNs << "ns)\n"
+       << "Cores           " << m.numCores << "\n";
+}
+
+} // namespace pmemspec::core

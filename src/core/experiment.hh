@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The public top-level API: configure a simulated machine (Table 3
+ * defaults), pick a benchmark (Table 4) and a design (Section 8.1),
+ * and measure throughput. The bench harness builds every figure of
+ * the paper out of these calls.
+ */
+
+#ifndef PMEMSPEC_CORE_EXPERIMENT_HH
+#define PMEMSPEC_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "persistency/design.hh"
+#include "workloads/workload.hh"
+
+namespace pmemspec::core
+{
+
+/** One experiment: a benchmark on a design with machine knobs. */
+struct ExperimentConfig
+{
+    workloads::BenchId bench = workloads::BenchId::ArraySwaps;
+    persistency::Design design = persistency::Design::IntelX86;
+    cpu::MachineConfig machine;
+    workloads::WorkloadParams workload;
+};
+
+/** Measured outcome of one experiment. */
+struct ExperimentResult
+{
+    cpu::RunResult run;
+    /** FASEs per second (the figures' throughput metric). */
+    double throughput = 0;
+};
+
+/**
+ * Generate the traces once, lower them for the design, and run the
+ * timing machine. Deterministic in its config.
+ */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/**
+ * Run one benchmark across the four designs with a common machine
+ * configuration; returns throughput normalised to IntelX86 (how the
+ * paper reports every figure).
+ */
+std::map<persistency::Design, double>
+runNormalized(workloads::BenchId bench,
+              const cpu::MachineConfig &machine,
+              const workloads::WorkloadParams &params);
+
+/** Print the Table 3 configuration of a machine. */
+void printConfig(std::ostream &os, const cpu::MachineConfig &cfg);
+
+/** Table 3 defaults: 2GHz 8-way cores, 32-entry SQ, 64KB L1, 16MB
+ *  LLC, Optane latencies, 20ns persist-path, 4-entry spec buffer. */
+cpu::MachineConfig defaultMachineConfig(unsigned num_cores = 8);
+
+} // namespace pmemspec::core
+
+#endif // PMEMSPEC_CORE_EXPERIMENT_HH

@@ -1,0 +1,111 @@
+#include "machine.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::cpu
+{
+
+using persistency::Design;
+
+Machine::Machine(const MachineConfig &cfg_)
+    : cfg(cfg_), root("machine")
+{
+    memsys = std::make_unique<mem::MemorySystem>(eq, &root, cfg.mem,
+                                                 cfg.design);
+    locks = std::make_unique<LockTable>(eq, &root);
+
+    for (CoreId c = 0; c < cfg.mem.numCores; ++c) {
+        cores.push_back(std::make_unique<Core>(eq, &root, c, cfg.core,
+                                               *memsys, *locks));
+        cores.back()->setSpecIdSource([this] {
+            // spec-assign: read the counter, then increment -- the
+            // atomicity is provided by the lock the thread holds.
+            return specCounter++;
+        });
+        cores.back()->setDoneCallback([this](CoreId) { ++coresDone; });
+    }
+
+    if (cfg.design == Design::PmemSpec) {
+        for (unsigned i = 0; i < memsys->numPmcs(); ++i) {
+            auto &sb = memsys->pmc(i).specBuffer();
+            sb.setMisspecCallback([this](Addr a, mem::MisspecKind k) {
+                onMisspeculation(a, k);
+            });
+            sb.setPauseCallback(
+                [this](Tick w) { onSpecBufferFull(w); });
+        }
+    }
+    root.addCounter("misspecInterrupts", &misspecInterrupts,
+                    "virtual-power-failure interrupts delivered");
+}
+
+void
+Machine::setTraces(std::vector<Trace> traces)
+{
+    fatal_if(traces.size() != cores.size(),
+             "%zu traces for %zu cores", traces.size(), cores.size());
+    for (CoreId c = 0; c < cores.size(); ++c)
+        cores[c]->setTrace(std::move(traces[c]));
+}
+
+void
+Machine::onMisspeculation(Addr addr, mem::MisspecKind kind)
+{
+    (void)addr;
+    (void)kind;
+    ++misspecInterrupts;
+    // The hardware stores the faulting address in the OS mailbox and
+    // raises the interrupt; after the OS relays it to the runtime,
+    // every thread currently inside a FASE aborts and re-executes
+    // (conservative rollback, Section 6.2).
+    eq.scheduleIn(cfg.misspecInterruptLatency, [this] {
+        for (auto &core : cores)
+            core->abortCurrentFase(cfg.abortHandlerLatency);
+    });
+}
+
+void
+Machine::onSpecBufferFull(Tick window)
+{
+    // "All cores pause and resume after the speculation window to
+    // make free spaces in the speculation buffer" (Section 5.3).
+    const Tick until = eq.now() + window;
+    for (auto &core : cores)
+        core->pauseUntil(until);
+}
+
+RunResult
+Machine::run()
+{
+    for (auto &core : cores)
+        core->start();
+
+    const bool drained = eq.run(cfg.maxEvents);
+    panic_if(!drained, "event budget exhausted: deadlock or runaway "
+                       "(executed %llu events)",
+             static_cast<unsigned long long>(eq.executed()));
+    panic_if(coresDone != cores.size(),
+             "event queue drained but only %u/%zu cores finished "
+             "(deadlock)", coresDone, cores.size());
+
+    RunResult r;
+    for (auto &core : cores) {
+        r.simTicks = std::max(r.simTicks, core->finishTick());
+        r.fases += core->fasesCompleted();
+        r.instructions += core->instructions.value();
+        r.aborts += core->aborts.value();
+    }
+    if (cfg.design == Design::PmemSpec) {
+        for (unsigned i = 0; i < memsys->numPmcs(); ++i) {
+            auto &sb = memsys->pmc(i).specBuffer();
+            r.loadMisspecs += sb.loadMisspecs.value();
+            r.storeMisspecs += sb.storeMisspecs.value();
+            r.specBufFullPauses += sb.fullPauses.value();
+        }
+        r.crossPmcReorderHazards =
+            memsys->crossPmcReorderHazards.value();
+    }
+    return r;
+}
+
+} // namespace pmemspec::cpu

@@ -1,0 +1,39 @@
+#include "trace.hh"
+
+namespace pmemspec::cpu
+{
+
+const char *
+traceOpName(TraceOp op)
+{
+    switch (op) {
+      case TraceOp::Load:        return "Load";
+      case TraceOp::LoadDep:     return "LoadDep";
+      case TraceOp::Store:       return "Store";
+      case TraceOp::Clwb:        return "Clwb";
+      case TraceOp::Sfence:      return "Sfence";
+      case TraceOp::Ofence:      return "Ofence";
+      case TraceOp::Dfence:      return "Dfence";
+      case TraceOp::SpecBarrier: return "SpecBarrier";
+      case TraceOp::SpecAssign:  return "SpecAssign";
+      case TraceOp::SpecRevoke:  return "SpecRevoke";
+      case TraceOp::LockAcq:     return "LockAcq";
+      case TraceOp::LockRel:     return "LockRel";
+      case TraceOp::FaseBegin:   return "FaseBegin";
+      case TraceOp::FaseEnd:     return "FaseEnd";
+      case TraceOp::Compute:     return "Compute";
+      case TraceOp::DrainBuffer: return "DrainBuffer";
+    }
+    return "unknown";
+}
+
+std::size_t
+countOps(const Trace &t, TraceOp op)
+{
+    std::size_t n = 0;
+    for (const auto &i : t)
+        n += (i.op == op) ? 1 : 0;
+    return n;
+}
+
+} // namespace pmemspec::cpu

@@ -1,0 +1,424 @@
+#include "memory_system.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace pmemspec::mem
+{
+
+using persistency::Design;
+
+MemorySystem::MemorySystem(sim::EventQueue &eq, StatGroup *parent,
+                           const MemConfig &cfg_, Design design_)
+    : sim::SimObject("memsys", eq, parent),
+      cfg(cfg_),
+      dsgn(design_),
+      l1Mshrs(cfg_.numCores)
+{
+    fatal_if(cfg.numPmcs == 0, "need at least one PM controller");
+    stats().addCounter("coherenceInvalidations", &coherenceInvalidations,
+                       "remote L1 invalidations on store drains");
+    stats().addCounter("storeAllocFetches", &storeAllocFetches,
+                       "write-allocate fetches triggered by stores");
+    stats().addCounter("crossPmcReorderHazards", &crossPmcReorderHazards,
+                       "per-core persists arriving across controllers "
+                       "out of store order (Section 7 oracle)");
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        l1s.push_back(std::make_unique<SetAssocCache>(
+            "l1d" + std::to_string(c), cfg.l1Bytes, cfg.l1Ways));
+    }
+    sharedLlc = std::make_unique<SetAssocCache>("llc", cfg.llcBytes,
+                                                cfg.llcWays);
+    for (unsigned i = 0; i < cfg.numPmcs; ++i) {
+        pmControllers.push_back(std::make_unique<PmController>(
+            eq, &stats(), cfg, dsgn,
+            i == 0 ? "pmc" : "pmc" + std::to_string(i)));
+    }
+
+    if (dsgn == Design::PmemSpec) {
+        // One lane per core with an ordered NoC (the Section 7
+        // extension serialises a core's persists across controllers);
+        // one independent lane per controller otherwise.
+        pathLanes = (cfg.numPmcs > 1 && !cfg.orderedNoc)
+                        ? cfg.numPmcs
+                        : 1;
+        persistSeqCounter.assign(cfg.numCores, 0);
+        laneSeqs.assign(std::size_t{cfg.numCores} * pathLanes, {});
+        outstandingSeqs.assign(cfg.numCores, {});
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            for (unsigned lane = 0; lane < pathLanes; ++lane) {
+                const Tick lat =
+                    cfg.persistPathLatency + lane * cfg.nocSkew;
+                const std::size_t lane_idx =
+                    std::size_t{c} * pathLanes + lane;
+                paths.push_back(std::make_unique<PersistPath>(
+                    eq, &stats(), c, lat, cfg.persistPathCapacity,
+                    [this, lane_idx](CoreId core, Addr a,
+                                     std::optional<SpecId> s) {
+                        if (!pmcFor(a).acceptPersist(core, a, s))
+                            return false;
+                        if (pathLanes > 1) {
+                            auto &fifo = laneSeqs[lane_idx];
+                            recordPersistArrival(core, fifo.front());
+                            fifo.pop_front();
+                        }
+                        return true;
+                    }));
+            }
+        }
+    }
+
+    if (usesPersistBuffers(dsgn)) {
+        const bool strict = (dsgn == Design::DPO);
+        for (CoreId c = 0; c < cfg.numCores; ++c) {
+            pbufs.push_back(std::make_unique<PersistBuffer>(
+                eq, &stats(), c, cfg.persistPathLatency,
+                cfg.persistBufferEntries, cfg.persistBufferDrainWidth,
+                strict, strict ? &dpoToken : nullptr,
+                [this](CoreId core, Addr a) {
+                    return pmcFor(a).acceptPersist(core, a,
+                                                   std::nullopt);
+                }));
+        }
+        if (dsgn == Design::HOPS) {
+            for (auto &pb : pbufs) {
+                pb->setFilterHooks(
+                    [this](Addr a) { pmcFor(a).filterInsert(a); },
+                    [this](Addr a) { pmcFor(a).filterRemove(a); });
+            }
+        }
+        // Cross-buffer dependencies can clear whenever any buffer
+        // makes progress; re-pump everyone.
+        for (auto &pb : pbufs) {
+            pb->setProgressHook([this] {
+                for (auto &other : pbufs)
+                    other->pump();
+            });
+        }
+    }
+}
+
+unsigned
+MemorySystem::pmcIndexFor(Addr block) const
+{
+    return static_cast<unsigned>(blockNumber(block) %
+                                 pmControllers.size());
+}
+
+PmController &
+MemorySystem::pmcFor(Addr block)
+{
+    return *pmControllers[pmcIndexFor(block)];
+}
+
+void
+MemorySystem::recordPersistArrival(CoreId c, std::uint64_t seq)
+{
+    auto &outstanding = outstandingSeqs[c];
+    auto it = outstanding.find(seq);
+    panic_if(it == outstanding.end(), "unknown persist sequence");
+    if (it != outstanding.begin()) {
+        // An older persist of this core is still in flight on another
+        // lane: the store order was violated across controllers.
+        ++crossPmcReorderHazards;
+    }
+    outstanding.erase(it);
+}
+
+void
+MemorySystem::invalidateOtherL1s(CoreId c, Addr block)
+{
+    for (CoreId o = 0; o < cfg.numCores; ++o) {
+        if (o == c)
+            continue;
+        if (l1s[o]->invalidate(block))
+            ++coherenceInvalidations;
+    }
+}
+
+void
+MemorySystem::handleLlcEviction(const Eviction &ev)
+{
+    if (!ev.dirty)
+        return;
+    // Design-specific: IntelX86 writes back; the buffered designs and
+    // PMEM-Spec drop the data (PMEM-Spec notifies its spec buffer).
+    pmcFor(ev.blockAddr).writeBack(ev.blockAddr, [] {});
+}
+
+void
+MemorySystem::fillL1(CoreId c, Addr block, bool dirty)
+{
+    // Mostly-inclusive: the LLC receives the block alongside the L1.
+    if (auto llc_ev = sharedLlc->insert(block, false))
+        handleLlcEviction(*llc_ev);
+    if (auto l1_ev = l1s[c]->insert(block, dirty)) {
+        if (l1_ev->dirty) {
+            // Dirty L1 victim migrates into the LLC.
+            if (sharedLlc->contains(l1_ev->blockAddr)) {
+                sharedLlc->markDirty(l1_ev->blockAddr);
+            } else if (auto llc_ev = sharedLlc->insert(l1_ev->blockAddr,
+                                                       true)) {
+                handleLlcEviction(*llc_ev);
+            }
+        }
+    }
+}
+
+void
+MemorySystem::fillFromPm(CoreId c, Addr block, bool for_store,
+                         Done on_done)
+{
+    auto it = llcMshrs.find(block);
+    if (it != llcMshrs.end()) {
+        it->second.push_back(std::move(on_done));
+        return;
+    }
+    llcMshrs[block].push_back(std::move(on_done));
+    (void)for_store;
+    pmcFor(block).read(block, [this, c, block] {
+        fillL1(c, block, false);
+        auto node = llcMshrs.extract(block);
+        panic_if(node.empty(), "LLC MSHR vanished for block");
+        for (auto &cb : node.mapped())
+            cb();
+    });
+}
+
+void
+MemorySystem::missToLlc(CoreId c, Addr block, bool for_store,
+                        Done on_done)
+{
+    Tick llc_lat = cfg.llcHitLatency + cfg.l1ToLlcExtra;
+    scheduleIn(llc_lat, [this, c, block, for_store,
+                         cb = std::move(on_done)]() mutable {
+        if (sharedLlc->access(block)) {
+            fillL1(c, block, false);
+            cb();
+        } else {
+            fillFromPm(c, block, for_store, std::move(cb));
+        }
+    });
+}
+
+void
+MemorySystem::load(CoreId c, Addr addr, Done on_done)
+{
+    const Addr block = blockAlign(addr);
+    scheduleIn(cfg.l1HitLatency, [this, c, block,
+                                  cb = std::move(on_done)]() mutable {
+        if (l1s[c]->access(block)) {
+            cb();
+            return;
+        }
+        // Merge with an outstanding miss to the same block (MSHR).
+        auto &mshr = l1Mshrs[c];
+        auto it = mshr.find(block);
+        if (it != mshr.end()) {
+            it->second.push_back(std::move(cb));
+            return;
+        }
+        mshr[block].push_back(std::move(cb));
+        missToLlc(c, block, false, [this, c, block] {
+            auto node = l1Mshrs[c].extract(block);
+            panic_if(node.empty(), "L1 MSHR vanished for block");
+            for (auto &waiter : node.mapped())
+                waiter();
+        });
+    });
+}
+
+void
+MemorySystem::captureStore(CoreId c, Addr block,
+                           std::optional<SpecId> spec_id,
+                           Done on_captured)
+{
+    switch (dsgn) {
+      case Design::IntelX86:
+        on_captured();
+        return;
+      case Design::PmemSpec: {
+        const unsigned lane =
+            (pathLanes > 1) ? pmcIndexFor(block) : 0;
+        PersistPath &p = path(c, lane);
+        if (p.full()) {
+            p.notifyWhenNotFull([this, c, block, spec_id,
+                                 cb = std::move(on_captured)]() mutable {
+                captureStore(c, block, spec_id, std::move(cb));
+            });
+            return;
+        }
+        if (pathLanes > 1) {
+            const std::uint64_t seq = persistSeqCounter[c]++;
+            laneSeqs[std::size_t{c} * pathLanes + lane].push_back(seq);
+            outstandingSeqs[c].emplace(seq, true);
+        }
+        p.send(block, spec_id);
+        on_captured();
+        return;
+      }
+      case Design::DPO:
+      case Design::HOPS: {
+        PersistBuffer &pb = *pbufs[c];
+        if (pb.full()) {
+            pb.notifyWhenNotFull([this, c, block, spec_id,
+                                  cb = std::move(on_captured)]() mutable {
+                captureStore(c, block, spec_id, std::move(cb));
+            });
+            return;
+        }
+        pb.append(block);
+        on_captured();
+        return;
+      }
+    }
+}
+
+void
+MemorySystem::store(CoreId c, Addr addr, std::optional<SpecId> spec_id,
+                    Done on_done)
+{
+    const Addr block = blockAlign(addr);
+    // "PMEM-Spec sends PM data being stored to both the CPU caches and
+    // the persist-path simultaneously when they leave the store queue"
+    // (Section 4.2); the buffered designs capture at the same point.
+    captureStore(c, block, spec_id,
+                 [this, c, block, cb = std::move(on_done)]() mutable {
+        scheduleIn(cfg.l1HitLatency, [this, c, block,
+                                      cb = std::move(cb)]() mutable {
+            invalidateOtherL1s(c, block);
+            if (l1s[c]->access(block)) {
+                l1s[c]->markDirty(block);
+                cb();
+                return;
+            }
+            // Write-allocate: fetch the block, then dirty it.
+            ++storeAllocFetches;
+            auto &mshr = l1Mshrs[c];
+            auto dirty_then = [this, c, block,
+                               cb2 = std::move(cb)]() mutable {
+                if (l1s[c]->contains(block))
+                    l1s[c]->markDirty(block);
+                else
+                    fillL1(c, block, true);
+                cb2();
+            };
+            auto it = mshr.find(block);
+            if (it != mshr.end()) {
+                it->second.push_back(std::move(dirty_then));
+                return;
+            }
+            mshr[block].push_back(std::move(dirty_then));
+            missToLlc(c, block, true, [this, c, block] {
+                auto node = l1Mshrs[c].extract(block);
+                panic_if(node.empty(), "L1 MSHR vanished for block");
+                for (auto &waiter : node.mapped())
+                    waiter();
+            });
+        });
+    });
+}
+
+void
+MemorySystem::clwb(CoreId c, Addr addr, Done on_done)
+{
+    const Addr block = blockAlign(addr);
+    scheduleIn(cfg.l1HitLatency, [this, c, block,
+                                  cb = std::move(on_done)]() mutable {
+        if (dsgn == Design::DPO) {
+            // DPO's persist buffers already captured the stores; the
+            // CLWB microcode completes without touching PM.
+            cb();
+            return;
+        }
+        const bool l1_dirty =
+            l1s[c]->contains(block) && l1s[c]->isDirty(block);
+        const bool llc_dirty =
+            sharedLlc->contains(block) && sharedLlc->isDirty(block);
+        if (!l1_dirty && !llc_dirty) {
+            cb(); // nothing to flush
+            return;
+        }
+        l1s[c]->markClean(block);
+        sharedLlc->markClean(block);
+        // Transport to the PMC, acceptance into the ADR domain, then
+        // the completion acknowledgment travelling back to the core
+        // (what a following SFENCE actually waits for).
+        scheduleIn(cfg.l1ToPmcLatency,
+                   [this, block, cb = std::move(cb)]() mutable {
+                       pmcFor(block).writeBack(
+                           block, [this, cb = std::move(cb)]() mutable {
+                               scheduleIn(cfg.l1ToPmcLatency,
+                                          std::move(cb));
+                           });
+                   });
+    });
+}
+
+void
+MemorySystem::specBarrier(CoreId c, Done on_done)
+{
+    panic_if(dsgn != Design::PmemSpec,
+             "spec-barrier only exists under PMEM-Spec");
+    // The core learns that its persists reached the PM controller(s)
+    // through small acks on the regular on-chip network (the persist
+    // path itself is write-only), one transport delay after the last
+    // arrival, across every lane.
+    auto remaining = std::make_shared<unsigned>(pathLanes);
+    auto cb = std::make_shared<Done>(std::move(on_done));
+    for (unsigned lane = 0; lane < pathLanes; ++lane) {
+        path(c, lane).notifyWhenEmpty([this, remaining, cb] {
+            if (--*remaining == 0) {
+                scheduleIn(cfg.l1ToPmcLatency, [cb] { (*cb)(); });
+            }
+        });
+    }
+}
+
+void
+MemorySystem::dfence(CoreId c, Done on_done)
+{
+    panic_if(!usesPersistBuffers(dsgn),
+             "dfence requires persist buffers");
+    // The durability ack for the last drained entry returns over the
+    // regular on-chip network.
+    pbufs[c]->notifyWhenEmpty([this, cb = std::move(on_done)]() mutable {
+        scheduleIn(cfg.l1ToPmcLatency, std::move(cb));
+    });
+}
+
+void
+MemorySystem::ofence(CoreId c)
+{
+    panic_if(!usesPersistBuffers(dsgn),
+             "ofence requires persist buffers");
+    pbufs[c]->ofence();
+}
+
+void
+MemorySystem::onLockRelease(CoreId c, unsigned lock_id)
+{
+    if (!usesPersistBuffers(dsgn))
+        return;
+    // Watermark: everything core c buffered before this release must
+    // be durable before the next acquirer's later persists drain.
+    lockWatermarks[lock_id] = LockWatermark{c, pbufs[c]->nextSeq()};
+}
+
+void
+MemorySystem::onLockAcquire(CoreId c, unsigned lock_id)
+{
+    if (!usesPersistBuffers(dsgn))
+        return;
+    auto it = lockWatermarks.find(lock_id);
+    if (it == lockWatermarks.end())
+        return;
+    const LockWatermark &wm = it->second;
+    if (wm.releaser == c)
+        return;
+    pbufs[c]->addDependency(pbufs[wm.releaser].get(), wm.seq);
+}
+
+} // namespace pmemspec::mem

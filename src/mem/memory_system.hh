@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The full memory system: per-core L1s, a shared LLC, the PM
+ * controller, and the design-specific persistence plumbing
+ * (persist-paths for PMEM-Spec, persist buffers for HOPS/DPO).
+ *
+ * The hierarchy is mostly-inclusive write-back/write-allocate with a
+ * simple invalidation-based coherence model: a store drain invalidates
+ * the block in every other L1. Requests are latency-chained through
+ * the event queue; MSHRs merge concurrent misses to the same block at
+ * both levels.
+ */
+
+#ifndef PMEMSPEC_MEM_MEMORY_SYSTEM_HH
+#define PMEMSPEC_MEM_MEMORY_SYSTEM_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/mem_config.hh"
+#include "mem/persist_buffer.hh"
+#include "mem/persist_path.hh"
+#include "mem/pm_controller.hh"
+#include "persistency/design.hh"
+#include "sim/sim_object.hh"
+
+namespace pmemspec::mem
+{
+
+/** Top-level memory system facade used by the cores. */
+class MemorySystem : public sim::SimObject
+{
+  public:
+    using Done = std::function<void()>;
+
+    MemorySystem(sim::EventQueue &eq, StatGroup *parent,
+                 const MemConfig &cfg, persistency::Design design);
+
+    /** A demand load from core c; on_done fires when data is ready. */
+    void load(CoreId c, Addr addr, Done on_done);
+
+    /**
+     * Drain one committed store from core c's store queue into the
+     * hierarchy and, per design, capture it for persistence
+     * (persist-path send or persist-buffer append). on_done fires when
+     * the store has fully left the store queue; persistence capture
+     * applies backpressure through it.
+     */
+    void store(CoreId c, Addr addr, std::optional<SpecId> spec_id,
+               Done on_done);
+
+    /** CLWB: flush the block towards the PMC; on_done fires when the
+     *  flush is accepted into the persistent domain. */
+    void clwb(CoreId c, Addr addr, Done on_done);
+
+    /** spec-barrier: on_done once core c's persist-path is empty. */
+    void specBarrier(CoreId c, Done on_done);
+
+    /** dfence: on_done once core c's persist buffer is empty. */
+    void dfence(CoreId c, Done on_done);
+
+    /** ofence: close core c's current persist-buffer epoch. */
+    void ofence(CoreId c);
+
+    /** Lock-handoff hooks conveying inter-thread persist order. */
+    void onLockRelease(CoreId c, unsigned lock_id);
+    void onLockAcquire(CoreId c, unsigned lock_id);
+
+    persistency::Design design() const { return dsgn; }
+    const MemConfig &config() const { return cfg; }
+
+    /** The (first) PM controller. */
+    PmController &pmc() { return *pmControllers.front(); }
+    /** Controller i of the Section 7 multi-PMC extension. */
+    PmController &pmc(unsigned i) { return *pmControllers.at(i); }
+    unsigned numPmcs() const
+    {
+        return static_cast<unsigned>(pmControllers.size());
+    }
+    /** Controller owning a block (address-interleaved). */
+    PmController &pmcFor(Addr block);
+    unsigned pmcIndexFor(Addr block) const;
+
+    SetAssocCache &l1(CoreId c) { return *l1s.at(c); }
+    SetAssocCache &llc() { return *sharedLlc; }
+    /** Core c's persist-path lane towards controller `pmc_idx` (the
+     *  single path when numPmcs == 1 or the NoC is ordered). */
+    PersistPath &path(CoreId c, unsigned pmc_idx = 0)
+    {
+        return *paths.at(c * pathLanes + pmc_idx % pathLanes);
+    }
+    PersistBuffer &pbuf(CoreId c) { return *pbufs.at(c); }
+
+    Counter coherenceInvalidations;
+    Counter storeAllocFetches;
+    /** Section 7 oracle: a core's persists arrived at different
+     *  controllers out of store order -- a violation the hardware
+     *  cannot detect without an ordered NoC. */
+    Counter crossPmcReorderHazards;
+
+  private:
+    void missToLlc(CoreId c, Addr block, bool for_store, Done on_done);
+    void fillFromPm(CoreId c, Addr block, bool for_store, Done on_done);
+    /** Install a block into core c's L1 (and the LLC), handling
+     *  evictions at both levels. */
+    void fillL1(CoreId c, Addr block, bool dirty);
+    void handleLlcEviction(const Eviction &ev);
+    void invalidateOtherL1s(CoreId c, Addr block);
+
+    /** Per-design persistence capture of a committed store. */
+    void captureStore(CoreId c, Addr block,
+                      std::optional<SpecId> spec_id, Done on_captured);
+
+    /** Oracle bookkeeping for the multi-PMC hazard counter. */
+    void recordPersistArrival(CoreId c, std::uint64_t seq);
+
+    MemConfig cfg;
+    persistency::Design dsgn;
+
+    std::vector<std::unique_ptr<SetAssocCache>> l1s;
+    std::unique_ptr<SetAssocCache> sharedLlc;
+    std::vector<std::unique_ptr<PmController>> pmControllers;
+    /** Persist-path lanes: paths[c * pathLanes + lane]. */
+    std::vector<std::unique_ptr<PersistPath>> paths;
+    unsigned pathLanes = 1;
+    std::vector<std::unique_ptr<PersistBuffer>> pbufs;
+    GlobalDrainToken dpoToken;
+
+    /** Per-core persist sequence stamps (send order) and the set of
+     *  not-yet-arrived sequences, for the reorder oracle. */
+    std::vector<std::uint64_t> persistSeqCounter;
+    /** Per (core, lane): FIFO of sequence stamps in flight. */
+    std::vector<std::deque<std::uint64_t>> laneSeqs;
+    /** Per core: smallest not-yet-arrived sequence heap substitute. */
+    std::vector<std::map<std::uint64_t, bool>> outstandingSeqs;
+
+    /** L1-level MSHRs: block -> waiters (per core). */
+    std::vector<std::map<Addr, std::vector<Done>>> l1Mshrs;
+    /** LLC-level MSHRs: block -> fill callbacks. */
+    std::map<Addr, std::vector<Done>> llcMshrs;
+
+    /** Lock watermarks for persist-buffer dependencies. */
+    struct LockWatermark
+    {
+        CoreId releaser;
+        std::uint64_t seq;
+    };
+    std::map<unsigned, LockWatermark> lockWatermarks;
+};
+
+} // namespace pmemspec::mem
+
+#endif // PMEMSPEC_MEM_MEMORY_SYSTEM_HH

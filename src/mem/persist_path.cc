@@ -1,0 +1,118 @@
+#include "persist_path.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::mem
+{
+
+PersistPath::PersistPath(sim::EventQueue &eq, StatGroup *parent,
+                         CoreId core, Tick latency, unsigned capacity,
+                         DeliverFn deliver_fn)
+    : sim::SimObject("persistPath" + std::to_string(core), eq, parent),
+      coreId(core),
+      pathLatency(latency),
+      fifoCapacity(capacity),
+      deliver(std::move(deliver_fn))
+{
+    fatal_if(capacity == 0, "persist path capacity must be >= 1");
+    stats().addCounter("sends", &sends, "persists pushed onto the path");
+    stats().addCounter("deliveries", &deliveries,
+                       "persists accepted by the PMC");
+    stats().addCounter("retries", &retries,
+                       "delivery retries due to PMC backpressure");
+    stats().addAccumulator("occupancy", &occupancyStat,
+                           "FIFO occupancy sampled at each send");
+}
+
+void
+PersistPath::send(Addr block_addr, std::optional<SpecId> spec_id)
+{
+    panic_if(full(), "persist path overflow; the store queue must "
+                     "apply backpressure via full()");
+    // Entries traverse the path in order: one flit per path cycle of
+    // throughput, pathLatency of pipeline depth.
+    const Tick one_flit = ticksPerNs; // 1 GB-ish flit rate: 1 flit/ns
+    Tick arrival = std::max(curTick() + pathLatency,
+                            lastArrival + one_flit);
+    lastArrival = arrival;
+    fifo.push_back(Flit{block_addr, spec_id, arrival});
+    ++sends;
+    occupancyStat.sample(static_cast<double>(fifo.size()));
+    if (!pumpScheduled) {
+        pumpScheduled = true;
+        scheduleIn(arrival - curTick(), [this] { pump(); });
+    }
+}
+
+void
+PersistPath::pump()
+{
+    pumpScheduled = false;
+    if (fifo.empty())
+        return;
+
+    Flit &head = fifo.front();
+    if (head.readyAt > curTick()) {
+        pumpScheduled = true;
+        scheduleIn(head.readyAt - curTick(), [this] { pump(); });
+        return;
+    }
+
+    if (deliver(coreId, head.addr, head.specId)) {
+        ++deliveries;
+        fifo.pop_front();
+        drainWaiters();
+        if (!fifo.empty()) {
+            pumpScheduled = true;
+            Tick delay = fifo.front().readyAt > curTick()
+                             ? fifo.front().readyAt - curTick()
+                             : 0;
+            scheduleIn(delay, [this] { pump(); });
+        }
+    } else {
+        // PMC write queue full: retry after a backoff, preserving
+        // order.
+        ++retries;
+        pumpScheduled = true;
+        scheduleIn(4 * ticksPerNs, [this] { pump(); });
+    }
+}
+
+void
+PersistPath::drainWaiters()
+{
+    if (fifo.empty() && !emptyWaiters.empty()) {
+        auto waiters = std::move(emptyWaiters);
+        emptyWaiters.clear();
+        for (auto &cb : waiters)
+            cb();
+    }
+    if (!full() && !spaceWaiters.empty()) {
+        auto waiters = std::move(spaceWaiters);
+        spaceWaiters.clear();
+        for (auto &cb : waiters)
+            cb();
+    }
+}
+
+void
+PersistPath::notifyWhenEmpty(std::function<void()> cb)
+{
+    if (fifo.empty()) {
+        cb();
+        return;
+    }
+    emptyWaiters.push_back(std::move(cb));
+}
+
+void
+PersistPath::notifyWhenNotFull(std::function<void()> cb)
+{
+    if (!full()) {
+        cb();
+        return;
+    }
+    spaceWaiters.push_back(std::move(cb));
+}
+
+} // namespace pmemspec::mem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The decoupled persist-path of PMEM-Spec (Section 4.2).
+ *
+ * One FIFO per core connects the store queue directly to the PM
+ * controller, bypassing the cache hierarchy. Entries leave the store
+ * queue at commit and arrive at the PMC in commit order after the
+ * configured path latency (20ns by default; the paths share a ring
+ * bus, which the speculation window accounts for). Because the PMC is
+ * inside the ADR persistent domain, a store is durable the moment it
+ * is accepted there; spec-barrier therefore only waits for this FIFO
+ * to drain and be accepted.
+ */
+
+#ifndef PMEMSPEC_MEM_PERSIST_PATH_HH
+#define PMEMSPEC_MEM_PERSIST_PATH_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace pmemspec::mem
+{
+
+/** Per-core FIFO from the store queue to the PM controller. */
+class PersistPath : public sim::SimObject
+{
+  public:
+    /**
+     * Delivery hook into the PM controller: attempts to hand one
+     * persist over. Returns false when the PMC write queue is full;
+     * the path then retries, preserving FIFO order.
+     */
+    using DeliverFn =
+        std::function<bool(CoreId, Addr, std::optional<SpecId>)>;
+
+    PersistPath(sim::EventQueue &eq, StatGroup *parent, CoreId core,
+                Tick latency, unsigned capacity, DeliverFn deliver);
+
+    /** @return true if the FIFO cannot accept another entry. */
+    bool full() const { return fifo.size() >= fifoCapacity; }
+
+    /**
+     * Push a committed PM store onto the path. Must not be called
+     * while full(); the store queue applies backpressure instead.
+     */
+    void send(Addr block_addr, std::optional<SpecId> spec_id);
+
+    /** @return true when nothing is in flight (spec-barrier test). */
+    bool empty() const { return fifo.empty(); }
+
+    /** Invoke cb once the path next becomes empty (immediately if it
+     *  already is). Used by spec-barrier. */
+    void notifyWhenEmpty(std::function<void()> cb);
+
+    /** Invoke cb once the path next has a free slot. Used by the
+     *  store queue when it hit backpressure. */
+    void notifyWhenNotFull(std::function<void()> cb);
+
+    Tick latency() const { return pathLatency; }
+
+    Counter sends;
+    Counter deliveries;
+    Counter retries;
+    Accumulator occupancyStat;
+
+  private:
+    struct Flit
+    {
+        Addr addr;
+        std::optional<SpecId> specId;
+        Tick readyAt; ///< earliest tick it may reach the PMC
+    };
+
+    /** Try to deliver the FIFO head; reschedules itself as needed. */
+    void pump();
+
+    void drainWaiters();
+
+    CoreId coreId;
+    Tick pathLatency;
+    unsigned fifoCapacity;
+    DeliverFn deliver;
+    std::deque<Flit> fifo;
+    Tick lastArrival = 0;
+    bool pumpScheduled = false;
+    std::vector<std::function<void()>> emptyWaiters;
+    std::vector<std::function<void()>> spaceWaiters;
+};
+
+} // namespace pmemspec::mem
+
+#endif // PMEMSPEC_MEM_PERSIST_PATH_HH

@@ -1,0 +1,269 @@
+#include "pm_controller.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::mem
+{
+
+using persistency::Design;
+
+PmController::PmController(sim::EventQueue &eq, StatGroup *parent,
+                           const MemConfig &cfg_, Design design_,
+                           std::string name)
+    : sim::SimObject(std::move(name), eq, parent),
+      cfg(cfg_),
+      design(design_),
+      banks(cfg_.pmBanks, 0),
+      bloom(cfg_.bloomCounters, cfg_.bloomHashes)
+{
+    if (design == Design::PmemSpec) {
+        specBuf.emplace(eq, &stats(), cfg.specBufferEntries,
+                        cfg.effectiveSpecWindow());
+    }
+    stats().addCounter("reads", &reads, "PM device reads");
+    stats().addCounter("writes", &writes, "PM device writes");
+    stats().addCounter("writeCoalesces", &writeCoalesces,
+                       "persists coalesced into a buffered block");
+    stats().addCounter("droppedWritebacks", &droppedWritebacks,
+                       "regular-path writebacks dropped by design");
+    stats().addCounter("persistsAccepted", &persistsAccepted,
+                       "persists accepted into the ADR domain");
+    stats().addCounter("persistsRefused", &persistsRefused,
+                       "persists refused on a full write queue");
+    stats().addCounter("bloomTrueHits", &bloomTrueHits,
+                       "PM reads delayed on a real buffer conflict");
+    stats().addCounter("bloomFalsePositives", &bloomFalsePositives,
+                       "PM reads delayed on a bloom false positive");
+    stats().addAccumulator("readLatency", &readLatencyStat,
+                           "PM read latency (ns), enqueue to data");
+}
+
+SpeculationBuffer &
+PmController::specBuffer()
+{
+    panic_if(!specBuf, "speculation buffer only exists for PMEM-Spec");
+    return *specBuf;
+}
+
+Tick &
+PmController::bankFree(Addr block_addr)
+{
+    return banks[blockNumber(block_addr) % banks.size()];
+}
+
+void
+PmController::serviceRead(Addr block_addr, Tick enq,
+                          std::function<void()> cb)
+{
+    if (outstandingReads >= cfg.pmcReadQueue) {
+        // Read queue full: retry shortly.
+        scheduleIn(ticksPerNs,
+                   [this, block_addr, enq, cb = std::move(cb)]() mutable {
+                       serviceRead(block_addr, enq, std::move(cb));
+                   });
+        return;
+    }
+    ++outstandingReads;
+    ++reads;
+
+    if (design == Design::PmemSpec)
+        specBuf->read(block_addr);
+
+    Tick &free_at = bankFree(block_addr);
+    Tick start = std::max(curTick(), free_at);
+    Tick done = start + cfg.pmReadLatency;
+    free_at = done;
+    scheduleIn(done - curTick(), [this, enq, cb = std::move(cb)] {
+        --outstandingReads;
+        readLatencyStat.sample(
+            static_cast<double>(curTick() - enq) / ticksPerNs);
+        cb();
+    });
+}
+
+void
+PmController::read(Addr block_addr, std::function<void()> on_done)
+{
+    const Tick enq = curTick();
+
+    if (design == Design::HOPS) {
+        // Every PM read pays the bloom-filter lookup (Section 8.2.2).
+        const Tick lookup = cfg.bloomLookupLatency;
+        if (bloom.mayContain(block_addr)) {
+            auto it = pendingPersistCount.find(block_addr);
+            if (it != pendingPersistCount.end() && it->second > 0) {
+                // Real conflict: the block sits in a persist buffer.
+                // HOPS postpones the read until the buffer drains it.
+                ++bloomTrueHits;
+                persistWaiters[block_addr].push_back(
+                    [this, block_addr, enq,
+                     cb = std::move(on_done)]() mutable {
+                        serviceRead(block_addr, enq, std::move(cb));
+                    });
+                return;
+            }
+            // False positive: delay by the configured penalty.
+            ++bloomFalsePositives;
+            scheduleIn(lookup + cfg.bloomFalsePositivePenalty,
+                       [this, block_addr, enq,
+                        cb = std::move(on_done)]() mutable {
+                           serviceRead(block_addr, enq, std::move(cb));
+                       });
+            return;
+        }
+        scheduleIn(lookup, [this, block_addr, enq,
+                            cb = std::move(on_done)]() mutable {
+            serviceRead(block_addr, enq, std::move(cb));
+        });
+        return;
+    }
+
+    serviceRead(block_addr, enq, std::move(on_done));
+}
+
+void
+PmController::serviceWrite(Addr block_addr)
+{
+    // Coalesce into a queued (not yet started) write of this block:
+    // the PMC buffers whole cache blocks, so another store to the
+    // same block merges for free (Section 4.2). A coalesced store
+    // consumes no extra write-queue entry.
+    auto it = coalescable.find(block_addr);
+    if (it != coalescable.end()) {
+        ++writeCoalesces;
+        return;
+    }
+
+    coalescable[block_addr] = 1;
+    ++writeQueue;
+    ++writes;
+    // Writes drain in the background at the device's aggregate write
+    // bandwidth; reads have priority and never queue behind them
+    // (standard PMC scheduling -- ADR makes write *latency* invisible
+    // to the program, only write-queue occupancy matters).
+    Tick start = std::max(curTick(), writeServerFree);
+    writeServerFree = start + cfg.pmWriteLatency / cfg.pmBanks;
+    Tick done = start + cfg.pmWriteLatency;
+    // The block stops being coalescable once its device write starts.
+    scheduleIn(start - curTick(),
+               [this, block_addr] { coalescable.erase(block_addr); });
+    scheduleIn(done - curTick(), [this] {
+        panic_if(writeQueue == 0, "write queue underflow");
+        --writeQueue;
+    });
+}
+
+void
+PmController::writeBack(Addr block_addr, std::function<void()> on_accepted)
+{
+    switch (design) {
+      case Design::IntelX86:
+        // Normal memory behaviour: the writeback enters the write
+        // queue; ADR makes it durable at acceptance.
+        if (writeQueue >= cfg.pmcWriteQueue &&
+            coalescable.find(block_addr) == coalescable.end()) {
+            scheduleIn(4 * ticksPerNs,
+                       [this, block_addr,
+                        cb = std::move(on_accepted)]() mutable {
+                           writeBack(block_addr, std::move(cb));
+                       });
+            return;
+        }
+        serviceWrite(block_addr);
+        on_accepted();
+        return;
+
+      case Design::DPO:
+      case Design::HOPS:
+        // The persist buffers are the agents of persistence; dirty
+        // LLC evictions are dropped (Section 2.2).
+        ++droppedWritebacks;
+        on_accepted();
+        return;
+
+      case Design::PmemSpec:
+        // Silently dropped -- but the WriteBack *request* is the
+        // speculation buffer's monitoring trigger (Table 2).
+        ++droppedWritebacks;
+        specBuf->writeBack(block_addr);
+        on_accepted();
+        return;
+    }
+}
+
+bool
+PmController::acceptPersist(CoreId core, Addr block_addr,
+                            std::optional<SpecId> spec_id)
+{
+    (void)core;
+    if (writeQueue >= cfg.pmcWriteQueue &&
+        coalescable.find(block_addr) == coalescable.end()) {
+        ++persistsRefused;
+        return false;
+    }
+    ++persistsAccepted;
+    serviceWrite(block_addr);
+    if (design == Design::PmemSpec) {
+        specBuf->persist(block_addr);
+        if (spec_id)
+            checkStoreOrder(block_addr, *spec_id);
+    }
+    return true;
+}
+
+void
+PmController::checkStoreOrder(Addr block_addr, SpecId spec_id)
+{
+    const Tick window = cfg.effectiveSpecWindow();
+    auto it = specTrack.find(block_addr);
+    if (it != specTrack.end()) {
+        if (curTick() - it->second.at <= window &&
+            spec_id < it->second.id) {
+            // A store ordered *earlier* by the happens-before order
+            // persisted after a later one: missing-update hazard.
+            specBuf->reportStoreMisspec(block_addr);
+            specTrack.erase(it);
+            return;
+        }
+        it->second.id = std::max(it->second.id, spec_id);
+        it->second.at = curTick();
+    } else {
+        specTrack.emplace(block_addr, SpecTrack{spec_id, curTick()});
+        // Bound the table: expire this entry after the window unless
+        // it was refreshed (lazy sweep keyed on the insertion tick).
+        scheduleIn(window + 1, [this, block_addr] {
+            auto sit = specTrack.find(block_addr);
+            if (sit != specTrack.end() &&
+                curTick() - sit->second.at > cfg.effectiveSpecWindow())
+                specTrack.erase(sit);
+        });
+    }
+}
+
+void
+PmController::filterInsert(Addr block_addr)
+{
+    bloom.insert(block_addr);
+    ++pendingPersistCount[block_addr];
+}
+
+void
+PmController::filterRemove(Addr block_addr)
+{
+    bloom.remove(block_addr);
+    auto it = pendingPersistCount.find(block_addr);
+    panic_if(it == pendingPersistCount.end() || it->second == 0,
+             "filterRemove without matching insert");
+    if (--it->second == 0) {
+        pendingPersistCount.erase(it);
+        auto wit = persistWaiters.find(block_addr);
+        if (wit != persistWaiters.end()) {
+            auto waiters = std::move(wit->second);
+            persistWaiters.erase(wit);
+            for (auto &cb : waiters)
+                cb();
+        }
+    }
+}
+
+} // namespace pmemspec::mem

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The persistent-memory controller.
+ *
+ * The PMC owns the read/write queues (32/64 entries, Table 3), a
+ * banked Optane-like device model (read 175ns, write 94ns), and the
+ * design-specific persistence machinery:
+ *
+ *  - IntelX86: dirty LLC writebacks and CLWB flushes enter the write
+ *    queue; ADR makes a write durable at acceptance.
+ *  - HOPS/DPO: regular-path writebacks are dropped (the persist
+ *    buffers are the persistence agents); HOPS additionally keeps a
+ *    counting bloom filter of buffered addresses that every PM read
+ *    must consult, delaying on (possibly false-positive) hits.
+ *  - PMEM-Spec: regular-path writebacks are dropped but reported to
+ *    the speculation buffer as WriteBack inputs; persists arriving on
+ *    the decoupled paths enter the write queue and feed the Persist
+ *    input; PM reads feed the Read input.
+ */
+
+#ifndef PMEMSPEC_MEM_PM_CONTROLLER_HH
+#define PMEMSPEC_MEM_PM_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bloom_filter.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/mem_config.hh"
+#include "mem/speculation_buffer.hh"
+#include "persistency/design.hh"
+#include "sim/sim_object.hh"
+
+namespace pmemspec::mem
+{
+
+/** The PM controller at the bottom of the memory system. */
+class PmController : public sim::SimObject
+{
+  public:
+    PmController(sim::EventQueue &eq, StatGroup *parent,
+                 const MemConfig &cfg, persistency::Design design,
+                 std::string name = "pmc");
+
+    /**
+     * Regular-path PM read (the request missed every cache).
+     * @param on_done invoked when the data returns from the device.
+     */
+    void read(Addr block_addr, std::function<void()> on_done);
+
+    /**
+     * Regular-path writeback (dirty LLC eviction or explicit CLWB
+     * flush). Handling is design-specific; see the file comment.
+     * @param on_accepted invoked once the writeback is accepted into
+     *        the persistent domain (immediately for designs that drop
+     *        it -- the caller's flush is then trivially "complete").
+     */
+    void writeBack(Addr block_addr, std::function<void()> on_accepted);
+
+    /**
+     * A persist arrives from a persist-path or persist buffer.
+     * @return false when the write queue is full (backpressure).
+     */
+    bool acceptPersist(CoreId core, Addr block_addr,
+                       std::optional<SpecId> spec_id);
+
+    /** HOPS: keep the PMC bloom filter in sync with buffer contents. */
+    void filterInsert(Addr block_addr);
+    void filterRemove(Addr block_addr);
+
+    /** The speculation buffer (valid only for Design::PmemSpec). */
+    SpeculationBuffer &specBuffer();
+
+    /** Occupancies, for tests. */
+    unsigned readQueueOccupancy() const { return outstandingReads; }
+    unsigned writeQueueOccupancy() const
+    {
+        return static_cast<unsigned>(writeQueue);
+    }
+
+    Counter reads;
+    Counter writes;
+    Counter writeCoalesces;
+    Counter droppedWritebacks;
+    Counter persistsAccepted;
+    Counter persistsRefused;
+    Counter bloomTrueHits;
+    Counter bloomFalsePositives;
+    Accumulator readLatencyStat;
+
+  private:
+    /** Issue a device read; completion callback at service end. */
+    void serviceRead(Addr block_addr, Tick enq, std::function<void()> cb);
+
+    /** Push one write into the banked device. */
+    void serviceWrite(Addr block_addr);
+
+    Tick &bankFree(Addr block_addr);
+
+    const MemConfig cfg;
+    persistency::Design design;
+
+    std::vector<Tick> banks; ///< per-bank availability (reads)
+    Tick writeServerFree = 0; ///< aggregate write-bandwidth server
+    unsigned outstandingReads = 0;
+    unsigned writeQueue = 0;
+    /** Blocks sitting in the write queue whose device write has not
+     *  started yet; later persists to them coalesce (Section 4.2:
+     *  the PMC "coalesces and buffers the store data"). */
+    std::map<Addr, unsigned> coalescable;
+
+    /** HOPS: true contents behind the bloom filter. */
+    BloomFilter bloom;
+    std::map<Addr, unsigned> pendingPersistCount;
+    std::map<Addr, std::vector<std::function<void()>>> persistWaiters;
+
+    /** PMEM-Spec machinery. */
+    std::optional<SpeculationBuffer> specBuf;
+
+    /** Spec-ID order tracking (Section 5.2.2): last speculation ID
+     *  observed per block, kept as metadata of the PMC's buffering
+     *  for one speculation window. A tagged persist with a lower ID
+     *  than the recorded one is an inter-thread ordering violation. */
+    struct SpecTrack
+    {
+        SpecId id;
+        Tick at;
+    };
+    std::map<Addr, SpecTrack> specTrack;
+
+    /** Run the spec-ID check for a tagged persist. */
+    void checkStoreOrder(Addr block_addr, SpecId spec_id);
+};
+
+} // namespace pmemspec::mem
+
+#endif // PMEMSPEC_MEM_PM_CONTROLLER_HH

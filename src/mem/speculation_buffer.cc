@@ -1,0 +1,183 @@
+#include "speculation_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::mem
+{
+
+SpeculationBuffer::SpeculationBuffer(sim::EventQueue &eq,
+                                     StatGroup *parent,
+                                     unsigned num_entries, Tick window)
+    : sim::SimObject("specbuf", eq, parent),
+      entries(num_entries),
+      specWindow(window)
+{
+    fatal_if(num_entries == 0, "speculation buffer needs >= 1 entry");
+    fatal_if(window == 0, "speculation window must be non-zero");
+    stats().addCounter("loadMisspecs", &loadMisspecs,
+                       "PM load misspeculations (stale reads)");
+    stats().addCounter("storeMisspecs", &storeMisspecs,
+                       "PM store misspeculations (ordering violations)");
+    stats().addCounter("allocations", &allocations,
+                       "speculation buffer entries allocated");
+    stats().addCounter("expirations", &expirations,
+                       "speculation windows expired benignly");
+    stats().addCounter("fullPauses", &fullPauses,
+                       "machine pauses due to a full buffer");
+    stats().addCounter("droppedInputs", &droppedInputs,
+                       "inputs dropped while the buffer was full");
+}
+
+SpeculationBuffer::Entry *
+SpeculationBuffer::find(Addr block_addr)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.addr == block_addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+const SpeculationBuffer::Entry *
+SpeculationBuffer::find(Addr block_addr) const
+{
+    return const_cast<SpeculationBuffer *>(this)->find(block_addr);
+}
+
+unsigned
+SpeculationBuffer::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+SpecState
+SpeculationBuffer::stateOf(Addr block_addr) const
+{
+    const Entry *e = find(block_addr);
+    return e ? e->state : SpecState::Initial;
+}
+
+SpeculationBuffer::Entry *
+SpeculationBuffer::allocate(Addr block_addr)
+{
+    for (auto &e : entries) {
+        if (!e.valid) {
+            e.valid = true;
+            e.addr = block_addr;
+            e.state = SpecState::Initial;
+            ++allocations;
+            return &e;
+        }
+    }
+    // Buffer full: request a machine-wide pause for one speculation
+    // window so that existing entries expire (Section 5.3). The input
+    // that could not be tracked is safe to drop *because* of the
+    // pause: no core can issue a conflicting access that would have
+    // needed this entry while the whole machine is stopped, and the
+    // window bounds the lifetime of any in-flight race.
+    ++droppedInputs;
+    if (curTick() >= pausedUntil) {
+        ++fullPauses;
+        pausedUntil = curTick() + specWindow;
+        if (onPause)
+            onPause(specWindow);
+    }
+    return nullptr;
+}
+
+void
+SpeculationBuffer::armWindow(Entry &e)
+{
+    e.inserted = curTick();
+    const std::uint64_t gen = ++e.generation;
+    Entry *slot = &e;
+    scheduleIn(specWindow, [this, slot, gen] {
+        // Deallocate only if the entry was not reused or refreshed.
+        if (slot->valid && slot->generation == gen) {
+            slot->valid = false;
+            ++expirations;
+        }
+    });
+}
+
+void
+SpeculationBuffer::fireMisspec(Entry &e, MisspecKind kind)
+{
+    e.state = SpecState::Misspeculation;
+    if (kind == MisspecKind::LoadStale)
+        ++loadMisspecs;
+    else
+        ++storeMisspecs;
+    const Addr addr = e.addr;
+    // The entry's job is done; recovery wipes the offending FASEs.
+    e.valid = false;
+    ++e.generation;
+    if (onMisspec)
+        onMisspec(addr, kind);
+}
+
+void
+SpeculationBuffer::writeBack(Addr block_addr)
+{
+    Entry *e = find(block_addr);
+    if (!e) {
+        e = allocate(block_addr);
+        if (!e)
+            return;
+    }
+    // WriteBack (re)starts monitoring: Initial -> Evict, and a repeated
+    // WriteBack refreshes the window ("WriteBack(s)" in the Figure 6
+    // pattern -- the block was fetched and evicted again).
+    e->state = SpecState::Evict;
+    armWindow(*e);
+}
+
+void
+SpeculationBuffer::reportStoreMisspec(Addr block_addr)
+{
+    ++storeMisspecs;
+    if (onMisspec)
+        onMisspec(block_addr, MisspecKind::StoreOrder);
+}
+
+void
+SpeculationBuffer::read(Addr block_addr)
+{
+    Entry *e = find(block_addr);
+    if (!e)
+        return; // not monitored: no prior eviction, cannot be stale
+    if (e->state == SpecState::Evict || e->state == SpecState::Speculated) {
+        e->state = SpecState::Speculated;
+        // Restart the window: Section 5.1.2 specifies that the window
+        // must still cover the worst-case persist-path latency *after*
+        // the load reaches the PMC.
+        armWindow(*e);
+    }
+}
+
+void
+SpeculationBuffer::persist(Addr block_addr)
+{
+    Entry *e = find(block_addr);
+    if (!e)
+        return;
+
+    // --- Load misspeculation: WriteBack(s)-Read(s)-Persist. ---
+    if (e->state == SpecState::Speculated) {
+        fireMisspec(*e, MisspecKind::LoadStale);
+        return;
+    }
+
+    if (e->state == SpecState::Evict) {
+        // The in-flight store superseded the dropped eviction before
+        // any read slipped in: the block's PM copy is now current, so
+        // load monitoring for this eviction can stop.
+        e->valid = false;
+        ++e->generation;
+    }
+}
+
+} // namespace pmemspec::mem

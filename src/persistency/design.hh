@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The four evaluated persistency-model implementations (Section 8.1).
+ */
+
+#ifndef PMEMSPEC_PERSISTENCY_DESIGN_HH
+#define PMEMSPEC_PERSISTENCY_DESIGN_HH
+
+#include <string>
+
+namespace pmemspec::persistency
+{
+
+/**
+ * Hardware design under evaluation. Mirrors the four configurations the
+ * paper compares in Figure 9.
+ */
+enum class Design
+{
+    /** Epoch persistency with CLWB + SFENCE on stock Intel X86. */
+    IntelX86,
+    /** Delegated Persist Ordering: buffered strict persistency with
+     *  persist buffers in the coherence domain and one global flush in
+     *  flight at a time (Kolli et al., MICRO'16). */
+    DPO,
+    /** Buffered epoch persistency with ofence/dfence, per-core persist
+     *  buffers and a PMC bloom filter (Nalli et al., ASPLOS'17). */
+    HOPS,
+    /** This paper: speculative strict persistency with a decoupled
+     *  persist-path and a speculation buffer in the PMC. */
+    PmemSpec,
+};
+
+/** Human-readable design name as used in the paper's figures. */
+inline std::string
+designName(Design d)
+{
+    switch (d) {
+      case Design::IntelX86: return "IntelX86";
+      case Design::DPO:      return "DPO";
+      case Design::HOPS:     return "HOPS";
+      case Design::PmemSpec: return "PMEM-Spec";
+    }
+    return "unknown";
+}
+
+/** True for the designs that keep persistent updates in per-core
+ *  persist buffers beside the L1 (Figure 1a/1b). */
+inline bool
+usesPersistBuffers(Design d)
+{
+    return d == Design::DPO || d == Design::HOPS;
+}
+
+} // namespace pmemspec::persistency
+
+#endif // PMEMSPEC_PERSISTENCY_DESIGN_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lowering of logical traces into design-specific instruction streams.
+ *
+ * This pass plays the role of the compiler/library in each system:
+ * the x86 library inserts CLWB/SFENCE; the HOPS compiler inserts
+ * ofence/dfence; the PMEM-Spec compiler inserts only spec-barrier at
+ * FASE ends plus spec-assign/spec-revoke around critical sections
+ * (Sections 3.2, 4.2 and 5.2.2 of the paper).
+ */
+
+#ifndef PMEMSPEC_PERSISTENCY_LOWERING_HH
+#define PMEMSPEC_PERSISTENCY_LOWERING_HH
+
+#include "cpu/trace.hh"
+#include "persistency/design.hh"
+#include "persistency/logical_trace.hh"
+
+namespace pmemspec::persistency
+{
+
+/** Knobs of the lowering pass. */
+struct LoweringOptions
+{
+    /** Bytes written per store instruction (an x86 64-bit store). */
+    unsigned storeGrainBytes = 8;
+    /** Bytes read per load instruction. */
+    unsigned loadGrainBytes = 8;
+};
+
+/**
+ * Expand one thread's logical trace into the instruction stream for
+ * the given design.
+ */
+cpu::Trace lower(const LogicalTrace &events, Design design,
+                 const LoweringOptions &opts = {});
+
+/** Summary of a lowered trace's instruction mix (tests/ablations). */
+struct InstrMix
+{
+    std::size_t stores = 0;
+    std::size_t loads = 0;
+    std::size_t clwbs = 0;
+    std::size_t sfences = 0;
+    std::size_t ofences = 0;
+    std::size_t dfences = 0;
+    std::size_t specBarriers = 0;
+    std::size_t drainBuffers = 0;
+};
+
+/** Count the ordering-relevant instructions in a lowered trace. */
+InstrMix instrMix(const cpu::Trace &t);
+
+} // namespace pmemspec::persistency
+
+#endif // PMEMSPEC_PERSISTENCY_LOWERING_HH

@@ -1,0 +1,191 @@
+#include "fase_runtime.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::runtime
+{
+
+Transaction::Transaction(PersistentMemory &pm_, UndoLog &log_,
+                         FaseRuntime &rt, unsigned tid_)
+    : pm(pm_), log(log_), runtime(rt), threadId(tid_)
+{
+}
+
+void
+Transaction::poll()
+{
+    if (runtime.recoveryPolicy == RecoveryPolicy::Eager &&
+        runtime.threads[threadId].misspecFlag) {
+        throw AbortException{runtime.os.mailbox()};
+    }
+}
+
+void
+Transaction::write(Addr a, const void *src, std::size_t n)
+{
+    poll();
+    if (runtime.logGranularity == LogGranularity::Word) {
+        // Mnemosyne-style raw log: every write is logged, no
+        // deduplication.
+        log.logRange(a, n);
+    } else {
+        // Log every touched block once (block-granular undo).
+        for (Addr b = blockAlign(a); b < a + n; b += blockBytes) {
+            if (loggedBlocks.insert(b).second)
+                log.logRange(b, blockBytes);
+        }
+    }
+    pm.write(a, src, n);
+}
+
+void
+Transaction::writeU64(Addr a, std::uint64_t v)
+{
+    write(a, &v, sizeof(v));
+}
+
+void
+Transaction::writeU32(Addr a, std::uint32_t v)
+{
+    write(a, &v, sizeof(v));
+}
+
+void
+Transaction::read(Addr a, void *dst, std::size_t n)
+{
+    poll();
+    pm.read(a, dst, n);
+}
+
+std::uint64_t
+Transaction::readU64(Addr a)
+{
+    std::uint64_t v;
+    read(a, &v, sizeof(v));
+    return v;
+}
+
+std::uint32_t
+Transaction::readU32(Addr a)
+{
+    std::uint32_t v;
+    read(a, &v, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+Transaction::readU64Dep(Addr a)
+{
+    poll();
+    return pm.readU64Dep(a);
+}
+
+FaseRuntime::FaseRuntime(PersistentMemory &pm_, VirtualOs &os_,
+                         unsigned num_threads, RecoveryPolicy policy,
+                         std::size_t log_bytes_per_thread,
+                         LogGranularity granularity)
+    : pm(pm_), os(os_), recoveryPolicy(policy),
+      logGranularity(granularity)
+{
+    fatal_if(num_threads == 0, "runtime needs at least one thread");
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        Addr region = pm.alloc(log_bytes_per_thread, 64);
+        UndoLog log(pm, region, log_bytes_per_thread);
+        log.reset();
+        threads.emplace_back(std::move(log));
+    }
+    // Register with the OS: handler + the PM region reverse-mapping.
+    pid_ = os.registerProcess(
+        [this](Addr fault) { onMisspecSignal(fault); });
+    os.registerRegion(pid_, 1, pm.size() - 1);
+}
+
+FaseRuntime::~FaseRuntime()
+{
+    os.unregisterProcess(pid_);
+}
+
+void
+FaseRuntime::onMisspecSignal(Addr fault_addr)
+{
+    (void)fault_addr;
+    // Flag every thread currently executing a FASE; threads outside
+    // FASEs are untouched (Section 6.2.1).
+    for (auto &t : threads) {
+        if (t.inFase)
+            t.misspecFlag = true;
+    }
+}
+
+void
+FaseRuntime::abortFase(unsigned tid)
+{
+    ThreadState &ts = threads[tid];
+    // Undo both volatile and non-volatile intermediate data: the log
+    // restores old values through regular PM writes and then makes
+    // the restoration durable.
+    ts.log.recover();
+    ts.inFase = false;
+    ++aborted;
+}
+
+void
+FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
+{
+    fatal_if(tid >= threads.size(), "bad thread id %u", tid);
+    ThreadState &ts = threads[tid];
+    panic_if(ts.inFase, "nested FASE on thread %u", tid);
+
+    for (;;) {
+        // A thread clears its own flag when it begins a new FASE.
+        ts.misspecFlag = false;
+        ts.inFase = true;
+        Transaction tx(pm, ts.log, *this, tid);
+        try {
+            fn(tx);
+        } catch (const AbortException &) {
+            abortFase(tid);
+            continue;
+        } catch (...) {
+            // Lazy recovery: exceptions caused by stale data are
+            // suppressed if the flag is set (Section 6.2.1);
+            // otherwise they are real bugs and propagate.
+            if (ts.misspecFlag) {
+                abortFase(tid);
+                continue;
+            }
+            ts.inFase = false;
+            throw;
+        }
+        // Commit point: the lazy scheme checks the flag here.
+        if (ts.misspecFlag) {
+            abortFase(tid);
+            continue;
+        }
+        ts.log.commit();
+        // Durability barrier at FASE end (spec-barrier / dfence /
+        // SFENCE, depending on the design).
+        pm.persistAll();
+        ts.inFase = false;
+        ++committed;
+        return;
+    }
+}
+
+void
+FaseRuntime::recoverAll()
+{
+    for (auto &t : threads) {
+        // Run recovery unconditionally: even with zero durable
+        // entries (the crash cut before the first count bump), the
+        // log's volatile write cursor must be resynchronised with
+        // the durable image, or the next FASE would append entries
+        // where recovery will not look for them.
+        t.log.recover();
+        t.inFase = false;
+        t.misspecFlag = false;
+    }
+}
+
+} // namespace pmemspec::runtime

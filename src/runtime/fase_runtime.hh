@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The failure-atomic runtime (Sections 6.1.2 and 6.2).
+ *
+ * Provides FASEs/transactions with undo-log rollback, the per-thread
+ * misspeculation flag, and both recovery schemes:
+ *
+ *  - Lazy (Section 6.2.1): the flag is checked at the commit point;
+ *    if set, the abort handler undoes all intermediate data (volatile
+ *    and non-volatile) and the FASE re-executes. Exceptions raised
+ *    mid-FASE while the flag is set are suppressed and turned into
+ *    aborts.
+ *  - Eager (Section 6.2.2): the signal is broadcast; each in-FASE
+ *    thread aborts at its next runtime entry point (the functional
+ *    stand-in for a synthetic pthread_kill interrupt).
+ *
+ * The runtime registers itself and its PM region with the VirtualOs
+ * so misspeculation interrupts can be relayed to it.
+ */
+
+#ifndef PMEMSPEC_RUNTIME_FASE_RUNTIME_HH
+#define PMEMSPEC_RUNTIME_FASE_RUNTIME_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "runtime/persistent_memory.hh"
+#include "runtime/undo_log.hh"
+#include "runtime/virtual_os.hh"
+
+namespace pmemspec::runtime
+{
+
+class FaseRuntime;
+
+/** Thrown by the eager recovery scheme at a runtime entry point. */
+struct AbortException
+{
+    Addr faultAddr;
+};
+
+/** Undo-logged transactional access used inside a FASE body.
+ *
+ * Logging is block-granular with per-transaction deduplication (as in
+ * ATLAS/iDO and hardware logging schemes): the first store to a cache
+ * block saves the whole 64-byte block; further stores to it need no
+ * log entry. */
+class Transaction
+{
+  public:
+    Transaction(PersistentMemory &pm, UndoLog &log, FaseRuntime &rt,
+                unsigned tid);
+
+    /** Undo-log the old contents (once per block), then store. */
+    void write(Addr a, const void *src, std::size_t n);
+    void writeU64(Addr a, std::uint64_t v);
+    void writeU32(Addr a, std::uint32_t v);
+
+    void read(Addr a, void *dst, std::size_t n);
+    std::uint64_t readU64(Addr a);
+    std::uint32_t readU32(Addr a);
+    /** Dependent (address-forming) load. */
+    std::uint64_t readU64Dep(Addr a);
+
+    unsigned tid() const { return threadId; }
+
+  private:
+    /** Eager recovery entry point: abort here if flagged. */
+    void poll();
+
+    PersistentMemory &pm;
+    UndoLog &log;
+    FaseRuntime &runtime;
+    unsigned threadId;
+    /** Blocks already undo-logged by this transaction. */
+    std::set<Addr> loggedBlocks;
+};
+
+/** How aborts are delivered (Section 6.2). */
+enum class RecoveryPolicy
+{
+    Lazy,
+    Eager,
+};
+
+/** Undo-log granularity. */
+enum class LogGranularity
+{
+    /** Log each touched cache block once per transaction (ATLAS/iDO
+     *  style; the microbenchmarks use this). */
+    Block,
+    /** Log every write individually with no deduplication
+     *  (Mnemosyne-style raw-word log; Vacation/Memcached use this --
+     *  on IntelX86 each logged write costs a flush+fence pair). */
+    Word,
+};
+
+/** The failure-atomic runtime of one process. */
+class FaseRuntime
+{
+  public:
+    using FaseFn = std::function<void(Transaction &)>;
+
+    FaseRuntime(PersistentMemory &pm, VirtualOs &os,
+                unsigned num_threads, RecoveryPolicy policy,
+                std::size_t log_bytes_per_thread = 1 << 16,
+                LogGranularity granularity = LogGranularity::Block);
+    ~FaseRuntime();
+
+    FaseRuntime(const FaseRuntime &) = delete;
+    FaseRuntime &operator=(const FaseRuntime &) = delete;
+
+    /**
+     * Execute one failure-atomic section on behalf of thread `tid`,
+     * retrying on abort until it commits. At commit the writes are
+     * made durable (the spec-barrier of Section 4.2).
+     */
+    void runFase(unsigned tid, const FaseFn &fn);
+
+    /**
+     * Crash recovery: roll back every uncommitted FASE from the
+     * per-thread logs (called once after PersistentMemory::crash()).
+     */
+    void recoverAll();
+
+    /** True while thread `tid` is inside a FASE. */
+    bool inFase(unsigned tid) const { return threads.at(tid).inFase; }
+
+    /** The per-thread misspeculation flag (tests). */
+    bool misspecFlag(unsigned tid) const
+    {
+        return threads.at(tid).misspecFlag;
+    }
+
+    Pid pid() const { return pid_; }
+    RecoveryPolicy policy() const { return recoveryPolicy; }
+    LogGranularity granularity() const { return logGranularity; }
+
+    /** PM region of thread tid's undo log (trace classification). */
+    std::pair<Addr, std::size_t>
+    logRegion(unsigned tid) const
+    {
+        const auto &log = threads.at(tid).log;
+        return {log.regionBase(), log.regionBytes()};
+    }
+
+    std::uint64_t fasesCommitted() const { return committed; }
+    std::uint64_t fasesAborted() const { return aborted; }
+
+  private:
+    friend class Transaction;
+
+    struct ThreadState
+    {
+        bool inFase = false;
+        bool misspecFlag = false;
+        UndoLog log;
+
+        explicit ThreadState(UndoLog l) : log(std::move(l)) {}
+    };
+
+    /** OS signal handler: flag every thread currently in a FASE. */
+    void onMisspecSignal(Addr fault_addr);
+
+    /** Abort handler: undo volatile and non-volatile intermediate
+     *  data of thread tid's open FASE. */
+    void abortFase(unsigned tid);
+
+    PersistentMemory &pm;
+    VirtualOs &os;
+    RecoveryPolicy recoveryPolicy;
+    LogGranularity logGranularity;
+    std::vector<ThreadState> threads;
+    Pid pid_ = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+};
+
+} // namespace pmemspec::runtime
+
+#endif // PMEMSPEC_RUNTIME_FASE_RUNTIME_HH

@@ -1,0 +1,130 @@
+#include "persistent_memory.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::runtime
+{
+
+PersistentMemory::PersistentMemory(std::size_t bytes)
+    : volatileImg(bytes, 0), persistedImg(bytes, 0)
+{
+    fatal_if(bytes < 1024, "PM space of %zu bytes is too small", bytes);
+}
+
+void
+PersistentMemory::checkRange(Addr a, std::size_t n) const
+{
+    panic_if(a == 0, "null PM access");
+    panic_if(a + n > volatileImg.size(),
+             "PM access out of range: [%#llx, +%zu) in %zu-byte space",
+             static_cast<unsigned long long>(a), n, volatileImg.size());
+}
+
+Addr
+PersistentMemory::alloc(std::size_t n, std::size_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "alloc alignment must be a power of two");
+    std::size_t base = (brk + align - 1) & ~(align - 1);
+    fatal_if(base + n > volatileImg.size(),
+             "PM arena exhausted: need %zu at %zu of %zu", n, base,
+             volatileImg.size());
+    brk = base + n;
+    return static_cast<Addr>(base);
+}
+
+void
+PersistentMemory::write(Addr a, const void *src, std::size_t n)
+{
+    checkRange(a, n);
+    std::memcpy(volatileImg.data() + a, src, n);
+    Pending p;
+    p.addr = a;
+    p.bytes.assign(static_cast<const std::uint8_t *>(src),
+                   static_cast<const std::uint8_t *>(src) + n);
+    inFlight.push_back(std::move(p));
+    if (observer)
+        observer(MemOp::Write, a, static_cast<std::uint32_t>(n));
+}
+
+void
+PersistentMemory::read(Addr a, void *dst, std::size_t n) const
+{
+    checkRange(a, n);
+    std::memcpy(dst, volatileImg.data() + a, n);
+    if (observer)
+        observer(MemOp::Read, a, static_cast<std::uint32_t>(n));
+}
+
+void
+PersistentMemory::readDep(Addr a, void *dst, std::size_t n) const
+{
+    checkRange(a, n);
+    std::memcpy(dst, volatileImg.data() + a, n);
+    if (observer)
+        observer(MemOp::ReadDep, a, static_cast<std::uint32_t>(n));
+}
+
+std::uint64_t
+PersistentMemory::readU64Dep(Addr a) const
+{
+    std::uint64_t v;
+    readDep(a, &v, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+PersistentMemory::readU64(Addr a) const
+{
+    std::uint64_t v;
+    read(a, &v, sizeof(v));
+    return v;
+}
+
+void
+PersistentMemory::writeU64(Addr a, std::uint64_t v)
+{
+    write(a, &v, sizeof(v));
+}
+
+std::uint32_t
+PersistentMemory::readU32(Addr a) const
+{
+    std::uint32_t v;
+    read(a, &v, sizeof(v));
+    return v;
+}
+
+void
+PersistentMemory::writeU32(Addr a, std::uint32_t v)
+{
+    write(a, &v, sizeof(v));
+}
+
+void
+PersistentMemory::persistAll()
+{
+    for (const Pending &p : inFlight) {
+        std::memcpy(persistedImg.data() + p.addr, p.bytes.data(),
+                    p.bytes.size());
+    }
+    inFlight.clear();
+}
+
+void
+PersistentMemory::crash(std::size_t keep_prefix)
+{
+    std::size_t applied = 0;
+    for (const Pending &p : inFlight) {
+        if (applied >= keep_prefix)
+            break;
+        std::memcpy(persistedImg.data() + p.addr, p.bytes.data(),
+                    p.bytes.size());
+        ++applied;
+    }
+    inFlight.clear();
+    // Reboot: every volatile copy is gone; PM is the truth.
+    volatileImg = persistedImg;
+}
+
+} // namespace pmemspec::runtime

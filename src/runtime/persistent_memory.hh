@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Functional persistent-memory model.
+ *
+ * The runtime layer (undo log, FASE runtime, persistent data
+ * structures) executes against this model. It keeps two images:
+ *
+ *  - the *volatile* image: what the running program reads and writes
+ *    (caches + in-flight stores included);
+ *  - the *persisted* image: what would survive a power failure.
+ *
+ * Stores are applied to the volatile image immediately and queued as
+ * in-flight persists. Under PMEM-Spec's strict persistency the
+ * in-flight queue drains to the persisted image *in store order*;
+ * crash(k) models a power failure that cut the queue after its first
+ * k entries -- exactly the failure model the paper's recovery
+ * reasoning assumes (a prefix of the persist order is durable).
+ *
+ * An observer hook reports every access so the workload layer can
+ * record logical traces while the program runs.
+ */
+
+#ifndef PMEMSPEC_RUNTIME_PERSISTENT_MEMORY_HH
+#define PMEMSPEC_RUNTIME_PERSISTENT_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmemspec::runtime
+{
+
+/** Kind of access reported to the observer. */
+enum class MemOp : std::uint8_t
+{
+    Read,
+    /** A read whose value determines the next access (pointer
+     *  chase); the timing core cannot run past it. */
+    ReadDep,
+    Write,
+};
+
+/** Byte-addressable persistent memory with crash semantics. */
+class PersistentMemory
+{
+  public:
+    using Observer = std::function<void(MemOp, Addr, std::uint32_t)>;
+
+    /** @param bytes Size of the PM address space. */
+    explicit PersistentMemory(std::size_t bytes);
+
+    /** Bump-allocate a region; never freed (arena style). */
+    Addr alloc(std::size_t n, std::size_t align = 8);
+
+    /** Bytes remaining in the arena. */
+    std::size_t remaining() const { return volatileImg.size() - brk; }
+
+    /** Total size of the address space. */
+    std::size_t size() const { return volatileImg.size(); }
+
+    /** Store: updates the volatile image, queues an in-flight
+     *  persist, and notifies the observer. */
+    void write(Addr a, const void *src, std::size_t n);
+
+    /** Load from the volatile image; notifies the observer. */
+    void read(Addr a, void *dst, std::size_t n) const;
+
+    /** Load that the caller marks as address-forming (pointer
+     *  chase); recorded as MemOp::ReadDep. */
+    void readDep(Addr a, void *dst, std::size_t n) const;
+
+    /** Dependent 64-bit load (the common pointer fetch). */
+    std::uint64_t readU64Dep(Addr a) const;
+
+    std::uint64_t readU64(Addr a) const;
+    void writeU64(Addr a, std::uint64_t v);
+    std::uint32_t readU32(Addr a) const;
+    void writeU32(Addr a, std::uint32_t v);
+
+    /** Drain every in-flight persist (a durability barrier). */
+    void persistAll();
+
+    /** In-flight persists not yet durable. */
+    std::size_t inFlightCount() const { return inFlight.size(); }
+
+    /**
+     * Power failure: the first keep_prefix in-flight persists reach
+     * the persisted image (in order); the rest are lost; the machine
+     * reboots, so the volatile image is re-read from PM.
+     */
+    void crash(std::size_t keep_prefix);
+
+    /** Register/replace the access observer (nullptr to disable). */
+    void setObserver(Observer obs) { observer = std::move(obs); }
+
+    /** Raw image access for invariant checkers. */
+    const std::uint8_t *volatileImage() const { return volatileImg.data(); }
+    const std::uint8_t *persistedImage() const { return persistedImg.data(); }
+
+  private:
+    struct Pending
+    {
+        Addr addr;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    void checkRange(Addr a, std::size_t n) const;
+
+    std::vector<std::uint8_t> volatileImg;
+    std::vector<std::uint8_t> persistedImg;
+    std::deque<Pending> inFlight;
+    std::size_t brk = 64; ///< address 0 stays unmapped (null guard)
+    Observer observer;
+};
+
+} // namespace pmemspec::runtime
+
+#endif // PMEMSPEC_RUNTIME_PERSISTENT_MEMORY_HH

@@ -1,0 +1,93 @@
+#include "undo_log.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pmemspec::runtime
+{
+
+// Entry layout: [addr:8][size:8][old bytes:size]; the header stores
+// the valid-entry count at base+0 (base+8 reserved).
+
+UndoLog::UndoLog(PersistentMemory &pm_, Addr region, std::size_t bytes)
+    : pm(pm_), base(region), capacity(bytes)
+{
+    fatal_if(bytes < headerBytes + 32, "undo log region too small");
+}
+
+void
+UndoLog::reset()
+{
+    pm.writeU64(base, 0);
+    writeOffset = headerBytes;
+}
+
+std::uint64_t
+UndoLog::entryCount() const
+{
+    return pm.readU64(base);
+}
+
+void
+UndoLog::logRange(Addr addr, std::size_t size)
+{
+    const std::size_t need = 16 + size;
+    fatal_if(writeOffset + need > capacity,
+             "undo log overflow: %zu + %zu > %zu", writeOffset, need,
+             capacity);
+
+    std::vector<std::uint8_t> old(size);
+    pm.read(addr, old.data(), size);
+
+    const Addr entry = base + writeOffset;
+    pm.writeU64(entry, addr);
+    pm.writeU64(entry + 8, size);
+    pm.write(entry + 16, old.data(), size);
+    writeOffset += need;
+    // Bump the count last: the validity marker (strict persistency
+    // guarantees it persists after the payload).
+    pm.writeU64(base, entryCount() + 1);
+}
+
+void
+UndoLog::commit()
+{
+    pm.writeU64(base, 0);
+    writeOffset = headerBytes;
+}
+
+bool
+UndoLog::needsRecovery() const
+{
+    return entryCount() != 0;
+}
+
+void
+UndoLog::recover()
+{
+    const std::uint64_t n = entryCount();
+    // Forward scan to find every entry offset, then undo in reverse.
+    std::vector<std::pair<Addr, std::uint64_t>> offsets; // entry, size
+    std::size_t off = headerBytes;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr entry = base + off;
+        const std::uint64_t size = pm.readU64(entry + 8);
+        offsets.emplace_back(entry, size);
+        off += 16 + size;
+    }
+    for (auto it = offsets.rbegin(); it != offsets.rend(); ++it) {
+        const Addr entry = it->first;
+        const std::uint64_t size = it->second;
+        const Addr target = pm.readU64(entry);
+        std::vector<std::uint8_t> old(size);
+        pm.read(entry + 16, old.data(), size);
+        pm.write(target, old.data(), size);
+    }
+    commit();
+    // Recovery itself must be durable before execution resumes.
+    pm.persistAll();
+    writeOffset = headerBytes;
+}
+
+} // namespace pmemspec::runtime

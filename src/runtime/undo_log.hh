@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-thread undo log living in persistent memory.
+ *
+ * The microbenchmarks of Table 4 "provide failure-atomicity via
+ * undo-logging"; this is that log. Discipline (under strict
+ * persistency, which guarantees persists land in store order):
+ *
+ *   append entry payload -> bump the persisted entry count (the count
+ *   acts as the validity marker and is written last) -> mutate data
+ *   in place -> commit truncates the count back to zero.
+ *
+ * After a crash (or a virtual power failure, i.e. misspeculation)
+ * recovery walks valid entries in reverse, restoring the old bytes,
+ * then truncates. Because the count is bumped only after the payload
+ * is fully written, a torn entry is never replayed.
+ */
+
+#ifndef PMEMSPEC_RUNTIME_UNDO_LOG_HH
+#define PMEMSPEC_RUNTIME_UNDO_LOG_HH
+
+#include <cstdint>
+
+#include "runtime/persistent_memory.hh"
+
+namespace pmemspec::runtime
+{
+
+/** An undo log in a fixed PM region. */
+class UndoLog
+{
+  public:
+    /**
+     * @param region Base address of the log region in PM.
+     * @param bytes  Region capacity (header + entries).
+     */
+    UndoLog(PersistentMemory &pm, Addr region, std::size_t bytes);
+
+    /** Initialise a fresh (empty, committed) log. */
+    void reset();
+
+    /** Record the current contents of [addr, addr+size) so they can
+     *  be restored on abort. Must precede the data mutation. */
+    void logRange(Addr addr, std::size_t size);
+
+    /** The FASE committed: truncate the log. */
+    void commit();
+
+    /** @return true if uncommitted entries exist (crash recovery or
+     *  misspeculation abort must run). Reads the *volatile* image;
+     *  after PersistentMemory::crash() that equals the durable one. */
+    bool needsRecovery() const;
+
+    /** Restore old values (reverse order) and truncate. Works both
+     *  as crash recovery and as a transaction abort handler. Safe to
+     *  call with zero valid entries: it then only resynchronises the
+     *  volatile write cursor with the (empty) durable log. */
+    void recover();
+
+    /** Uncommitted entries currently in the log. */
+    std::uint64_t entryCount() const;
+
+    /** Bytes of log space used. */
+    std::size_t bytesUsed() const { return writeOffset; }
+
+    Addr regionBase() const { return base; }
+
+    /** Region capacity in bytes. */
+    std::size_t regionBytes() const { return capacity; }
+
+  private:
+    static constexpr std::size_t headerBytes = 16;
+
+    PersistentMemory &pm;
+    Addr base;
+    std::size_t capacity;
+    std::size_t writeOffset = headerBytes;
+};
+
+} // namespace pmemspec::runtime
+
+#endif // PMEMSPEC_RUNTIME_UNDO_LOG_HH

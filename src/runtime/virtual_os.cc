@@ -1,0 +1,50 @@
+#include "virtual_os.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::runtime
+{
+
+Pid
+VirtualOs::registerProcess(MisspecHandler handler)
+{
+    const Pid pid = nextPid++;
+    handlers[pid] = std::move(handler);
+    return pid;
+}
+
+void
+VirtualOs::unregisterProcess(Pid pid)
+{
+    handlers.erase(pid);
+    std::erase_if(regions,
+                  [pid](const Region &r) { return r.pid == pid; });
+}
+
+void
+VirtualOs::registerRegion(Pid pid, Addr base, std::size_t len)
+{
+    fatal_if(handlers.find(pid) == handlers.end(),
+             "registerRegion for unknown pid %u", pid);
+    regions.push_back(Region{base, len, pid});
+}
+
+std::optional<Pid>
+VirtualOs::raiseMisspecInterrupt(Addr fault_addr)
+{
+    mailboxAddr = fault_addr;
+    for (const Region &r : regions) {
+        if (fault_addr >= r.base && fault_addr < r.base + r.len) {
+            auto it = handlers.find(r.pid);
+            if (it == handlers.end())
+                break;
+            ++numDelivered;
+            it->second(fault_addr);
+            return r.pid;
+        }
+    }
+    ++numDropped;
+    return std::nullopt;
+}
+
+} // namespace pmemspec::runtime

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The OS support of Section 6.1.1.
+ *
+ * When the PMEM-Spec hardware detects misspeculation it stores the
+ * faulting physical address in a designated mailbox and raises a
+ * hardware interrupt. The OS keeps a reverse mapping from physical
+ * address ranges to the process that registered them, looks the
+ * faulting process up, and relays the signal to that process's
+ * failure-atomic runtime.
+ */
+
+#ifndef PMEMSPEC_RUNTIME_VIRTUAL_OS_HH
+#define PMEMSPEC_RUNTIME_VIRTUAL_OS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmemspec::runtime
+{
+
+/** Process id inside the virtual OS. */
+using Pid = std::uint32_t;
+
+/** The misspeculation-relay half of a kernel. */
+class VirtualOs
+{
+  public:
+    /** Signature of a process's misspeculation handler; receives the
+     *  faulting physical address from the mailbox. */
+    using MisspecHandler = std::function<void(Addr)>;
+
+    /** Register a process and its handler. @return its pid. */
+    Pid registerProcess(MisspecHandler handler);
+
+    /** Unregister (process exit). */
+    void unregisterProcess(Pid pid);
+
+    /** Map a PM physical range to a process (the reverse map). */
+    void registerRegion(Pid pid, Addr base, std::size_t len);
+
+    /**
+     * The hardware interrupt entry point: store the faulting address
+     * in the mailbox, find the owning process through the reverse
+     * map, and deliver the signal.
+     * @return the pid signalled, or nullopt if no process owns the
+     *         address (the interrupt is logged and dropped).
+     */
+    std::optional<Pid> raiseMisspecInterrupt(Addr fault_addr);
+
+    /** The designated mailbox: last faulting address delivered. */
+    Addr mailbox() const { return mailboxAddr; }
+
+    /** Interrupts delivered / dropped. */
+    std::uint64_t delivered() const { return numDelivered; }
+    std::uint64_t dropped() const { return numDropped; }
+
+  private:
+    struct Region
+    {
+        Addr base;
+        std::size_t len;
+        Pid pid;
+    };
+
+    std::map<Pid, MisspecHandler> handlers;
+    std::vector<Region> regions;
+    Pid nextPid = 1;
+    Addr mailboxAddr = 0;
+    std::uint64_t numDelivered = 0;
+    std::uint64_t numDropped = 0;
+};
+
+} // namespace pmemspec::runtime
+
+#endif // PMEMSPEC_RUNTIME_VIRTUAL_OS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Clock-domain helper converting between core cycles and ticks.
+ */
+
+#ifndef PMEMSPEC_SIM_CLOCK_HH
+#define PMEMSPEC_SIM_CLOCK_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pmemspec::sim
+{
+
+/** A fixed-frequency clock domain. */
+class Clock
+{
+  public:
+    /** @param freq_ghz Clock frequency in GHz (paper: 2 GHz). */
+    explicit Clock(double freq_ghz = 2.0)
+        : periodTicks(static_cast<Tick>(1000.0 / freq_ghz + 0.5))
+    {
+        fatal_if(freq_ghz <= 0, "clock frequency must be positive");
+    }
+
+    /** Clock period in ticks (picoseconds). */
+    Tick period() const { return periodTicks; }
+
+    /** Convert a cycle count to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * periodTicks; }
+
+    /** Convert ticks to whole cycles (rounding up). */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + periodTicks - 1) / periodTicks;
+    }
+
+    /** Frequency in GHz. */
+    double freqGhz() const { return 1000.0 / periodTicks; }
+
+  private:
+    Tick periodTicks;
+};
+
+} // namespace pmemspec::sim
+
+#endif // PMEMSPEC_SIM_CLOCK_HH

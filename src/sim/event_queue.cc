@@ -1,0 +1,60 @@
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    panic_if(when < curTick,
+             "scheduling event in the past (when=%llu now=%llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(curTick));
+    events.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    // priority_queue::top() is const; move the callback out via a copy
+    // of the wrapper (cheap: std::function move after const_cast is UB,
+    // so copy the small struct fields and pop first).
+    Event ev = events.top();
+    events.pop();
+    curTick = ev.when;
+    ++numExecuted;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick t)
+{
+    while (!events.empty() && events.top().when <= t)
+        step();
+    if (curTick < t)
+        curTick = t;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+bool
+EventQueue::run(std::uint64_t max_events)
+{
+    for (std::uint64_t i = 0; i < max_events; ++i) {
+        if (!step())
+            return true;
+    }
+    return events.empty();
+}
+
+} // namespace pmemspec::sim

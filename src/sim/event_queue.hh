@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The entire timing model is driven by one EventQueue per simulated
+ * machine. Components schedule closures at absolute or relative ticks;
+ * events at equal ticks execute in insertion order (a stable tie-break
+ * keeps the simulation deterministic).
+ */
+
+#ifndef PMEMSPEC_SIM_EVENT_QUEUE_HH
+#define PMEMSPEC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmemspec::sim
+{
+
+/** Tick-ordered queue of callbacks; the heart of the simulator. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(curTick + delta, std::move(cb));
+    }
+
+    /** @return true when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /** Execute the earliest event. @return false if queue was empty. */
+    bool step();
+
+    /** Run every event at or before the given tick. */
+    void runUntil(Tick t);
+
+    /** Run until the queue drains. */
+    void run();
+
+    /** Run until the queue drains or the event budget is exhausted.
+     *  @return true if the queue drained. */
+    bool run(std::uint64_t max_events);
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace pmemspec::sim
+
+#endif // PMEMSPEC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the counting Bloom filter used by the HOPS PMC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bloom_filter.hh"
+#include "common/rng.hh"
+
+using pmemspec::Addr;
+using pmemspec::BloomFilter;
+using pmemspec::Rng;
+
+TEST(BloomFilter, EmptyContainsNothing)
+{
+    BloomFilter f(256, 3);
+    for (Addr a = 0; a < 100 * 64; a += 64)
+        EXPECT_FALSE(f.mayContain(a));
+    EXPECT_EQ(f.population(), 0u);
+}
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter f(1024, 3);
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        f.insert(a);
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        EXPECT_TRUE(f.mayContain(a));
+}
+
+TEST(BloomFilter, RemoveRestoresEmptiness)
+{
+    BloomFilter f(512, 3);
+    const Addr a = 0x1000;
+    f.insert(a);
+    EXPECT_TRUE(f.mayContain(a));
+    f.remove(a);
+    EXPECT_FALSE(f.mayContain(a));
+    EXPECT_EQ(f.population(), 0u);
+}
+
+TEST(BloomFilter, CountingSurvivesDuplicates)
+{
+    BloomFilter f(512, 3);
+    const Addr a = 0x2000;
+    f.insert(a);
+    f.insert(a);
+    f.remove(a);
+    // One insertion remains.
+    EXPECT_TRUE(f.mayContain(a));
+    f.remove(a);
+    EXPECT_FALSE(f.mayContain(a));
+}
+
+TEST(BloomFilter, RemovePreservesOtherKeys)
+{
+    BloomFilter f(2048, 3);
+    for (Addr a = 64; a <= 32 * 64; a += 64)
+        f.insert(a);
+    f.remove(64);
+    for (Addr a = 2 * 64; a <= 32 * 64; a += 64)
+        EXPECT_TRUE(f.mayContain(a));
+}
+
+TEST(BloomFilter, ClearDropsEverything)
+{
+    BloomFilter f(256, 2);
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        f.insert(a);
+    f.clear();
+    EXPECT_EQ(f.population(), 0u);
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        EXPECT_FALSE(f.mayContain(a));
+}
+
+TEST(BloomFilter, FalsePositiveRateIsBounded)
+{
+    BloomFilter f(2048, 3);
+    Rng rng(1);
+    // Insert 64 random blocks.
+    for (int i = 0; i < 64; ++i)
+        f.insert(rng.next() & ~0x3fULL);
+    // Probe 10000 fresh blocks; the FP rate for n=64, m=2048, k=3
+    // is about (1-e^{-3*64/2048})^3 ~ 0.07%.
+    int fps = 0;
+    for (int i = 0; i < 10000; ++i)
+        fps += f.mayContain((rng.next() | (1ULL << 60)) & ~0x3fULL);
+    EXPECT_LT(fps, 200);
+}
+
+TEST(BloomFilter, RemoveOnEmptyPanics)
+{
+    BloomFilter f(256, 3);
+    EXPECT_DEATH(f.remove(0x40), "empty");
+}
+
+TEST(BloomFilter, NonPowerOfTwoSizeIsFatal)
+{
+    EXPECT_DEATH(BloomFilter(1000, 3), "power of two");
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace pmemspec;
+using mem::SetAssocCache;
+
+namespace
+{
+
+Addr
+blk(std::uint64_t n)
+{
+    return n * blockBytes;
+}
+
+} // namespace
+
+TEST(Cache, MissOnEmpty)
+{
+    SetAssocCache c("c", 4096, 4);
+    EXPECT_FALSE(c.access(blk(1)));
+    EXPECT_EQ(c.misses.value(), 1u);
+    EXPECT_EQ(c.hits.value(), 0u);
+}
+
+TEST(Cache, HitAfterInsert)
+{
+    SetAssocCache c("c", 4096, 4);
+    c.insert(blk(1), false);
+    EXPECT_TRUE(c.access(blk(1)));
+    EXPECT_EQ(c.hits.value(), 1u);
+}
+
+TEST(Cache, GeometryIsDerivedFromSizeAndWays)
+{
+    SetAssocCache c("c", 64 * 1024, 4);
+    EXPECT_EQ(c.numSets(), 256u);
+    EXPECT_EQ(c.numWays(), 4u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 4 blocks * 2 ways = 2 sets; same-set blocks differ by numSets.
+    SetAssocCache c("c", 4 * blockBytes, 2);
+    const auto sets = c.numSets();
+    // Fill set 0 beyond capacity.
+    c.insert(blk(0 * sets), false);
+    c.insert(blk(1 * sets), false);
+    c.access(blk(0 * sets)); // make block 0 MRU
+    auto ev = c.insert(blk(2 * sets), false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->blockAddr, blk(1 * sets)); // LRU evicted
+    EXPECT_TRUE(c.contains(blk(0 * sets)));
+    EXPECT_TRUE(c.contains(blk(2 * sets)));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    SetAssocCache c("c", 2 * blockBytes, 1);
+    const auto sets = c.numSets();
+    c.insert(blk(0), true);
+    auto ev = c.insert(blk(sets), false); // same set, evicts dirty
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_EQ(c.dirtyEvictions.value(), 1u);
+}
+
+TEST(Cache, CleanEvictionReported)
+{
+    SetAssocCache c("c", 2 * blockBytes, 1);
+    const auto sets = c.numSets();
+    c.insert(blk(0), false);
+    auto ev = c.insert(blk(sets), false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_FALSE(ev->dirty);
+}
+
+TEST(Cache, ReinsertMergesDirtyBit)
+{
+    SetAssocCache c("c", 4096, 4);
+    c.insert(blk(3), false);
+    auto ev = c.insert(blk(3), true);
+    EXPECT_FALSE(ev.has_value());
+    EXPECT_TRUE(c.isDirty(blk(3)));
+    // Dirty is sticky: a clean re-insert does not clean it.
+    c.insert(blk(3), false);
+    EXPECT_TRUE(c.isDirty(blk(3)));
+}
+
+TEST(Cache, MarkDirtyAndClean)
+{
+    SetAssocCache c("c", 4096, 4);
+    c.insert(blk(5), false);
+    EXPECT_FALSE(c.isDirty(blk(5)));
+    c.markDirty(blk(5));
+    EXPECT_TRUE(c.isDirty(blk(5)));
+    c.markClean(blk(5));
+    EXPECT_FALSE(c.isDirty(blk(5)));
+}
+
+TEST(Cache, MarkCleanOnAbsentBlockIsANoop)
+{
+    SetAssocCache c("c", 4096, 4);
+    c.markClean(blk(9)); // must not crash
+}
+
+TEST(Cache, InvalidateReturnsDirtyBit)
+{
+    SetAssocCache c("c", 4096, 4);
+    c.insert(blk(1), true);
+    auto d = c.invalidate(blk(1));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(*d);
+    EXPECT_FALSE(c.contains(blk(1)));
+    EXPECT_FALSE(c.invalidate(blk(1)).has_value());
+}
+
+TEST(Cache, PopulationTracksValidBlocks)
+{
+    SetAssocCache c("c", 4096, 4);
+    EXPECT_EQ(c.population(), 0u);
+    c.insert(blk(1), false);
+    c.insert(blk(2), false);
+    EXPECT_EQ(c.population(), 2u);
+    c.invalidate(blk(1));
+    EXPECT_EQ(c.population(), 1u);
+}
+
+TEST(Cache, AccessUpdatesLruState)
+{
+    SetAssocCache c("c", 2 * blockBytes, 2);
+    const auto sets = c.numSets();
+    c.insert(blk(0), false);
+    c.insert(blk(sets), false);
+    // Touch block 0 so block sets is LRU.
+    EXPECT_TRUE(c.access(blk(0)));
+    auto ev = c.insert(blk(2 * sets), false);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->blockAddr, blk(sets));
+}
+
+TEST(Cache, FullyAssociativeSingleSet)
+{
+    SetAssocCache c("c", 4 * blockBytes, 4);
+    EXPECT_EQ(c.numSets(), 1u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_FALSE(c.insert(blk(i), false).has_value());
+    EXPECT_TRUE(c.insert(blk(4), false).has_value());
+}
+
+class CacheSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheSweep, CapacityIsRespectedAcrossAssociativities)
+{
+    const unsigned ways = GetParam();
+    SetAssocCache c("c", 64 * blockBytes, ways);
+    // Insert 128 distinct blocks; population can never exceed 64.
+    for (std::uint64_t i = 0; i < 128; ++i)
+        c.insert(blk(i), i % 2 == 0);
+    EXPECT_LE(c.population(), 64u);
+    EXPECT_EQ(c.evictions.value(), 128u - c.population());
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));

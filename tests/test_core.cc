@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the timing core: issue/stall semantics of each trace
+ * op, SQ backpressure, fence behaviour per design, FASE accounting,
+ * and the misspeculation rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+#include "persistency/design.hh"
+
+using namespace pmemspec;
+using cpu::Machine;
+using cpu::MachineConfig;
+using cpu::Trace;
+using cpu::TraceInstr;
+using cpu::TraceOp;
+using persistency::Design;
+
+namespace
+{
+
+MachineConfig
+config(Design d, unsigned cores = 1)
+{
+    MachineConfig m;
+    m.design = d;
+    m.mem.numCores = cores;
+    return m;
+}
+
+/** Run a single-core machine over one trace. */
+cpu::RunResult
+run(Machine &m, Trace t)
+{
+    std::vector<Trace> traces;
+    traces.push_back(std::move(t));
+    m.setTraces(std::move(traces));
+    return m.run();
+}
+
+} // namespace
+
+TEST(Core, EmptyTraceFinishesAtTickZero)
+{
+    Machine m(config(Design::IntelX86));
+    auto r = run(m, {});
+    EXPECT_EQ(r.simTicks, 0u);
+    EXPECT_EQ(r.instructions, 0u);
+}
+
+TEST(Core, ComputeAdvancesSimulatedTime)
+{
+    Machine m(config(Design::IntelX86));
+    auto r = run(m, {{TraceOp::Compute, 100}});
+    // 100 cycles at 2GHz = 50ns.
+    EXPECT_EQ(r.simTicks, nsToTicks(50));
+    EXPECT_EQ(r.instructions, 1u);
+}
+
+TEST(Core, DependentLoadBlocksUntilData)
+{
+    Machine m(config(Design::IntelX86));
+    auto r = run(m, {{TraceOp::LoadDep, 0x10000}});
+    // Cold miss: L1 (2ns) + LLC (20ns) + PM (175ns).
+    EXPECT_GE(r.simTicks, nsToTicks(197));
+}
+
+TEST(Core, IndependentLoadsOverlap)
+{
+    Machine m(config(Design::IntelX86));
+    Trace t;
+    // Four independent loads to different banks.
+    for (int i = 0; i < 4; ++i)
+        t.push_back({TraceOp::Load,
+                     static_cast<Addr>(0x10000 + i * 64)});
+    auto r1 = run(m, std::move(t));
+    // Overlapped: roughly one miss latency, not four.
+    EXPECT_LT(r1.simTicks, nsToTicks(2 * 197));
+}
+
+TEST(Core, CachedLoadIsFast)
+{
+    Machine m(config(Design::IntelX86));
+    auto r = run(m, {{TraceOp::LoadDep, 0x10000},
+                     {TraceOp::LoadDep, 0x10000}});
+    // Second access hits L1: only +2ns over the first.
+    EXPECT_LE(r.simTicks, nsToTicks(197 + 2 + 2));
+}
+
+TEST(Core, StoresDrainInBackground)
+{
+    // Compute overlaps fully with the store's background drain: the
+    // run with extra compute costs no additional time.
+    Machine m1(config(Design::IntelX86));
+    auto r_store = run(m1, {{TraceOp::Store, 0x10000}});
+    Machine m2(config(Design::IntelX86));
+    auto r_both = run(m2, {{TraceOp::Store, 0x10000},
+                           {TraceOp::Compute, 100}});
+    EXPECT_EQ(r_both.simTicks, r_store.simTicks);
+    // Retirement waits for the drain, so the total covers the
+    // write-allocate miss chain.
+    EXPECT_GE(r_store.simTicks, nsToTicks(197));
+}
+
+TEST(Core, SfenceWaitsForStoreDrain)
+{
+    Machine m(config(Design::IntelX86));
+    auto r = run(m, {{TraceOp::Store, 0x10000},
+                     {TraceOp::Sfence, 0}});
+    // The store misses (write-allocate from PM), so the fence waits
+    // for the full miss chain.
+    EXPECT_GE(r.simTicks, nsToTicks(197));
+}
+
+TEST(Core, SfenceWaitsForClwbAck)
+{
+    Machine m(config(Design::IntelX86));
+    // Dirty a block (hit after allocate), then flush + fence.
+    auto r = run(m, {{TraceOp::Store, 0x10000},
+                     {TraceOp::Sfence, 0},
+                     {TraceOp::Clwb, 0x10000},
+                     {TraceOp::Sfence, 0}});
+    // The second fence adds the flush round trip (~2x11ns + accept).
+    EXPECT_GE(r.simTicks, nsToTicks(197 + 22));
+}
+
+TEST(Core, SpecBarrierWaitsForPersistPath)
+{
+    Machine m(config(Design::PmemSpec));
+    auto r = run(m, {{TraceOp::Store, 0x10000},
+                     {TraceOp::SpecBarrier, 0},
+                     {TraceOp::FaseEnd, 0}});
+    // The persist entered the path at SQ commit and landed long ago;
+    // the barrier still pays the ack return over the NoC (11ns).
+    EXPECT_GE(r.simTicks, nsToTicks(197 + 11));
+}
+
+TEST(Core, BarrierDoesNotBlockVolatileWork)
+{
+    // Section 8.2.1: spec-barrier lets loads and compute continue.
+    Machine m(config(Design::PmemSpec));
+    auto r_over = run(m, {{TraceOp::Store, 0x10000},
+                          {TraceOp::SpecBarrier, 0},
+                          {TraceOp::Compute, 400}});
+    Machine m2(config(Design::PmemSpec));
+    auto r_base = run(m2, {{TraceOp::Store, 0x10000},
+                           {TraceOp::SpecBarrier, 0}});
+    // 400 cycles = 200ns overlap almost fully with the barrier wait.
+    EXPECT_LT(r_over.simTicks, r_base.simTicks + nsToTicks(200));
+}
+
+TEST(Core, StoreWaitsForOutstandingBarrier)
+{
+    Machine m(config(Design::PmemSpec));
+    auto r_two = run(m, {{TraceOp::Store, 0x10000},
+                         {TraceOp::SpecBarrier, 0},
+                         {TraceOp::Store, 0x10000}});
+    // The second store cannot pass the barrier: runtime covers both
+    // the miss chain and the barrier completion plus its own drain.
+    EXPECT_GE(r_two.simTicks, nsToTicks(197 + 11 + 2));
+}
+
+TEST(Core, DfenceDrainsThePersistBuffer)
+{
+    Machine m(config(Design::HOPS));
+    auto r = run(m, {{TraceOp::Store, 0x10000},
+                     {TraceOp::Dfence, 0},
+                     {TraceOp::FaseEnd, 0}});
+    EXPECT_GE(r.simTicks, nsToTicks(197 + 11));
+}
+
+TEST(Core, OfenceIsCheap)
+{
+    Machine m(config(Design::HOPS));
+    auto r = run(m, {{TraceOp::Ofence, 0}, {TraceOp::Ofence, 0}});
+    EXPECT_LT(r.simTicks, nsToTicks(5));
+}
+
+TEST(Core, SqFullStallsTheCore)
+{
+    MachineConfig cfg = config(Design::IntelX86);
+    cfg.core.sqEntries = 4;
+    Machine m(cfg);
+    Trace t;
+    // 16 stores to distinct cold blocks: each drain is a PM miss, so
+    // a 4-entry SQ must backpressure.
+    for (int i = 0; i < 16; ++i)
+        t.push_back({TraceOp::Store,
+                     static_cast<Addr>(0x10000 + i * 64)});
+    run(m, std::move(t));
+    EXPECT_GT(m.core(0).sqFullStalls.value(), 0u);
+}
+
+TEST(Core, FaseMarkersCountThroughput)
+{
+    Machine m(config(Design::IntelX86));
+    auto r = run(m, {{TraceOp::FaseBegin, 0},
+                     {TraceOp::Compute, 10},
+                     {TraceOp::FaseEnd, 0},
+                     {TraceOp::FaseBegin, 0},
+                     {TraceOp::FaseEnd, 0}});
+    EXPECT_EQ(r.fases, 2u);
+}
+
+TEST(Core, LocksSerialiseCrossCoreFases)
+{
+    Machine m(config(Design::IntelX86, 2));
+    Trace t0 = {{TraceOp::LockAcq, 1},
+                {TraceOp::Compute, 2000},
+                {TraceOp::LockRel, 1}};
+    Trace t1 = t0;
+    std::vector<Trace> traces{t0, t1};
+    m.setTraces(std::move(traces));
+    auto r = m.run();
+    // 2 x 1000ns critical sections serialised (+lock latencies).
+    EXPECT_GE(r.simTicks, nsToTicks(2000));
+}
+
+TEST(Core, SpecAssignTagsComeFromGlobalCounter)
+{
+    Machine m(config(Design::PmemSpec, 2));
+    Trace t = {{TraceOp::LockAcq, 1},
+               {TraceOp::SpecAssign, 0},
+               {TraceOp::Store, 0x10000},
+               {TraceOp::SpecRevoke, 0},
+               {TraceOp::LockRel, 1},
+               {TraceOp::SpecBarrier, 0}};
+    std::vector<Trace> traces{t, t};
+    m.setTraces(std::move(traces));
+    m.run();
+    // Two spec-assigns consumed two IDs.
+    EXPECT_EQ(m.specCounterValue(), 3u);
+}

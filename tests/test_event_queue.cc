@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+
+using namespace pmemspec;
+using sim::Clock;
+using sim::EventQueue;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, EqualTicksRunInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            eq.scheduleIn(1, chain);
+    };
+    eq.scheduleIn(1, chain);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+    eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&] { ++ran; });
+    eq.schedule(20, [&] { ++ran; });
+    eq.schedule(21, [&] { ++ran; });
+    eq.runUntil(20);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    eq.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, BudgetedRunStopsEarly)
+{
+    EventQueue eq;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(eq.executed(), 50u);
+    EXPECT_TRUE(eq.run(1000));
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, ExecutedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleIn(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(Clock, DefaultIsTwoGigahertz)
+{
+    Clock c;
+    EXPECT_EQ(c.period(), 500u); // 500 ps
+    EXPECT_DOUBLE_EQ(c.freqGhz(), 2.0);
+}
+
+TEST(Clock, CycleConversionsRoundTrip)
+{
+    Clock c(2.0);
+    EXPECT_EQ(c.cyclesToTicks(4), 2000u);
+    EXPECT_EQ(c.ticksToCycles(2000), 4u);
+    // Rounding up.
+    EXPECT_EQ(c.ticksToCycles(2001), 5u);
+}
+
+TEST(Clock, OneGigahertz)
+{
+    Clock c(1.0);
+    EXPECT_EQ(c.period(), 1000u);
+    EXPECT_EQ(c.cyclesToTicks(3), 3000u);
+}

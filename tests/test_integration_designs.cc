@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Cross-design integration invariants: for any benchmark, the four
+ * designs replay the same logical work, so design-independent
+ * quantities must agree, and each design's persistence machinery must
+ * satisfy its own conservation laws.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "persistency/lowering.hh"
+
+using namespace pmemspec;
+using persistency::Design;
+using workloads::BenchId;
+
+namespace
+{
+
+struct RunHandle
+{
+    std::unique_ptr<cpu::Machine> machine;
+    cpu::RunResult result;
+};
+
+RunHandle
+runOn(BenchId bench, Design design, unsigned threads = 4,
+      std::uint64_t ops = 30)
+{
+    workloads::WorkloadParams p;
+    p.numThreads = threads;
+    p.opsPerThread = ops;
+    p.seed = 11;
+    auto logical = workloads::generateTraces(bench, p);
+    std::vector<cpu::Trace> traces;
+    for (const auto &lt : logical)
+        traces.push_back(persistency::lower(lt, design));
+    cpu::MachineConfig mc = core::defaultMachineConfig(threads);
+    mc.design = design;
+    RunHandle h;
+    h.machine = std::make_unique<cpu::Machine>(mc);
+    h.machine->setTraces(std::move(traces));
+    h.result = h.machine->run();
+    return h;
+}
+
+} // namespace
+
+class DesignInvariants : public ::testing::TestWithParam<BenchId>
+{
+};
+
+TEST_P(DesignInvariants, AllDesignsCommitTheSameFases)
+{
+    std::uint64_t expected = 0;
+    for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
+                     Design::PmemSpec}) {
+        auto h = runOn(GetParam(), d);
+        if (expected == 0)
+            expected = h.result.fases;
+        EXPECT_EQ(h.result.fases, expected)
+            << persistency::designName(d);
+        EXPECT_EQ(h.result.fases, 4u * 30u);
+    }
+}
+
+TEST_P(DesignInvariants, IntelNeverUsesPersistMachinery)
+{
+    auto h = runOn(GetParam(), Design::IntelX86);
+    EXPECT_EQ(h.machine->memory().pmc().persistsAccepted.value(), 0u);
+}
+
+TEST_P(DesignInvariants, PmemSpecPersistsEveryCommittedStoreBlock)
+{
+    auto h = runOn(GetParam(), Design::PmemSpec);
+    auto &mem = h.machine->memory();
+    std::uint64_t sends = 0;
+    for (unsigned c = 0; c < 4; ++c)
+        sends += mem.path(c).sends.value();
+    // Every send was delivered (paths are empty at the end), and
+    // every delivery was either a device write or a coalesce.
+    EXPECT_EQ(mem.pmc().persistsAccepted.value(), sends);
+    EXPECT_EQ(mem.pmc().writes.value() +
+                  mem.pmc().writeCoalesces.value(),
+              mem.pmc().persistsAccepted.value());
+    EXPECT_GT(sends, 0u);
+}
+
+TEST_P(DesignInvariants, BufferedDesignsDrainCompletely)
+{
+    for (Design d : {Design::HOPS, Design::DPO}) {
+        auto h = runOn(GetParam(), d);
+        auto &mem = h.machine->memory();
+        for (unsigned c = 0; c < 4; ++c) {
+            EXPECT_TRUE(mem.pbuf(c).empty())
+                << persistency::designName(d) << " core " << c;
+            EXPECT_EQ(mem.pbuf(c).appends.value(),
+                      mem.pbuf(c).persistsDone.value() +
+                          mem.pbuf(c).coalesces.value());
+        }
+    }
+}
+
+TEST_P(DesignInvariants, NoDesignAbortsWithoutMisspeculation)
+{
+    for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
+                     Design::PmemSpec}) {
+        auto h = runOn(GetParam(), d);
+        EXPECT_EQ(h.result.aborts, 0u) << persistency::designName(d);
+    }
+}
+
+TEST_P(DesignInvariants, PmemSpecDropsRegularPathWritebacks)
+{
+    auto h = runOn(GetParam(), Design::PmemSpec);
+    auto &pmc = h.machine->memory().pmc();
+    // Any dirty LLC eviction was dropped, never written.
+    EXPECT_EQ(pmc.writes.value() + pmc.writeCoalesces.value(),
+              pmc.persistsAccepted.value());
+}
+
+TEST_P(DesignInvariants, SameDesignSameSeedIsBitIdentical)
+{
+    auto a = runOn(GetParam(), Design::PmemSpec);
+    auto b = runOn(GetParam(), Design::PmemSpec);
+    EXPECT_EQ(a.result.simTicks, b.result.simTicks);
+    EXPECT_EQ(a.result.instructions, b.result.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, DesignInvariants,
+    ::testing::ValuesIn(workloads::allBenchmarks()),
+    [](const ::testing::TestParamInfo<BenchId> &info) {
+        std::string n = workloads::benchName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(DesignInvariants, HopsReadsAreNeverFasterThanPmemSpec)
+{
+    // HOPS pays the bloom lookup + sticky-M bus cycles on the same
+    // read stream; its PM read latency can only be higher.
+    auto hops = runOn(BenchId::Memcached, Design::HOPS);
+    auto spec = runOn(BenchId::Memcached, Design::PmemSpec);
+    const double hops_lat =
+        hops.machine->memory().pmc().readLatencyStat.mean();
+    const double spec_lat =
+        spec.machine->memory().pmc().readLatencyStat.mean();
+    EXPECT_GE(hops_lat + 1e-9, spec_lat * 0.95);
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the memcached-like KV store, including the LRU list
+ * behaviour on GETs and the torn-value check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "pmds/kv_store.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using pmds::KvConfig;
+using pmds::KvStore;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+struct Harness
+{
+    PersistentMemory pm{1 << 24};
+    VirtualOs os;
+    KvConfig cfg;
+    KvStore kv;
+    FaseRuntime rt{pm, os, 1, RecoveryPolicy::Lazy, 1 << 17};
+
+    Harness() : cfg(makeCfg()), kv(pm, cfg) {}
+
+    static KvConfig
+    makeCfg()
+    {
+        KvConfig c;
+        c.buckets = 64;
+        c.valueBytes = 256;
+        return c;
+    }
+
+    void
+    set(std::uint64_t k, std::uint8_t b)
+    {
+        rt.runFase(0, [&](Transaction &tx) { kv.set(tx, k, b); });
+    }
+
+    std::optional<std::uint8_t>
+    get(std::uint64_t k)
+    {
+        std::optional<std::uint8_t> out;
+        rt.runFase(0, [&](Transaction &tx) { out = kv.get(tx, k); });
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(KvStore, MissReturnsNothing)
+{
+    Harness h;
+    EXPECT_FALSE(h.get(1).has_value());
+    EXPECT_EQ(h.kv.size(), 0u);
+    EXPECT_TRUE(h.kv.checkInvariants());
+}
+
+TEST(KvStore, SetThenGet)
+{
+    Harness h;
+    h.set(1, 0xAB);
+    EXPECT_EQ(h.get(1), 0xAB);
+    EXPECT_EQ(h.kv.lookup(1), 0xAB);
+    EXPECT_EQ(h.kv.size(), 1u);
+    EXPECT_TRUE(h.kv.checkInvariants());
+}
+
+TEST(KvStore, OverwriteReplacesWholeValue)
+{
+    Harness h;
+    h.set(1, 0x11);
+    h.set(1, 0x22);
+    EXPECT_EQ(h.get(1), 0x22);
+    EXPECT_EQ(h.kv.size(), 1u);
+}
+
+TEST(KvStore, GetBumpsLruAndHitCount)
+{
+    Harness h;
+    h.set(1, 0x01);
+    h.set(2, 0x02);
+    EXPECT_EQ(h.kv.lruFrontKey(), 2u); // most recently set
+    h.get(1);
+    EXPECT_EQ(h.kv.lruFrontKey(), 1u); // bumped by the GET
+    EXPECT_EQ(h.kv.hitCount(1), 1u);
+    EXPECT_EQ(h.kv.hitCount(2), 0u);
+    EXPECT_TRUE(h.kv.checkInvariants());
+}
+
+TEST(KvStore, EraseUnlinksFromLru)
+{
+    Harness h;
+    h.set(1, 0x01);
+    h.set(2, 0x02);
+    h.set(3, 0x03);
+    bool erased = false;
+    h.rt.runFase(0,
+                 [&](Transaction &tx) { erased = h.kv.erase(tx, 2); });
+    EXPECT_TRUE(erased);
+    EXPECT_EQ(h.kv.size(), 2u);
+    EXPECT_FALSE(h.get(2).has_value());
+    EXPECT_TRUE(h.kv.checkInvariants());
+}
+
+TEST(KvStore, LruOrderFollowsAccesses)
+{
+    Harness h;
+    for (std::uint64_t k = 1; k <= 4; ++k)
+        h.set(k, static_cast<std::uint8_t>(k));
+    h.get(1);
+    h.get(3);
+    EXPECT_EQ(h.kv.lruFrontKey(), 3u);
+    h.get(1);
+    EXPECT_EQ(h.kv.lruFrontKey(), 1u);
+    EXPECT_TRUE(h.kv.checkInvariants());
+}
+
+TEST(KvStore, AbortedSetRollsBackValueAndLru)
+{
+    Harness h;
+    h.set(1, 0x01);
+    h.set(2, 0x02);
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            h.kv.set(tx, 1, 0x99);
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_EQ(h.get(1), 0x01);
+    EXPECT_EQ(h.kv.lruFrontKey(), 1u); // the recovery GET bumped it
+    EXPECT_TRUE(h.kv.checkInvariants());
+}
+
+TEST(KvStore, RandomisedMixStaysConsistent)
+{
+    Harness h;
+    Rng rng(47);
+    std::optional<std::uint8_t> model[32];
+    for (int op = 0; op < 500; ++op) {
+        const std::uint64_t k = rng.below(32);
+        if (rng.chance(0.5)) {
+            const auto b = static_cast<std::uint8_t>(rng.next());
+            h.set(k, b);
+            model[k] = b;
+        } else {
+            ASSERT_EQ(h.get(k), model[k]) << "key " << k;
+        }
+    }
+    EXPECT_TRUE(h.kv.checkInvariants());
+}
+
+TEST(KvStore, LruTrackingCanBeDisabled)
+{
+    PersistentMemory pm(1 << 24);
+    VirtualOs os;
+    KvConfig cfg;
+    cfg.buckets = 16;
+    cfg.valueBytes = 64;
+    cfg.lruTracking = false;
+    KvStore kv(pm, cfg);
+    FaseRuntime rt(pm, os, 1, RecoveryPolicy::Lazy);
+    rt.runFase(0, [&](Transaction &tx) { kv.set(tx, 1, 0x01); });
+    rt.runFase(0, [&](Transaction &tx) { kv.get(tx, 1); });
+    EXPECT_EQ(kv.lruFrontKey(), 0u);
+    EXPECT_TRUE(kv.checkInvariants());
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the simulated-time lock table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/lock_table.hh"
+#include "sim/event_queue.hh"
+
+using namespace pmemspec;
+using cpu::LockTable;
+using sim::EventQueue;
+
+namespace
+{
+
+struct Harness
+{
+    EventQueue eq;
+    StatGroup stats{"test"};
+    LockTable locks{eq, &stats};
+};
+
+} // namespace
+
+TEST(LockTable, UncontendedAcquireCompletes)
+{
+    Harness h;
+    bool got = false;
+    h.locks.acquire(1, 0, [&] { got = true; });
+    EXPECT_FALSE(got); // acquire latency must elapse
+    h.eq.run();
+    EXPECT_TRUE(got);
+    EXPECT_TRUE(h.locks.held(1));
+    EXPECT_EQ(h.locks.holder(1), 0u);
+}
+
+TEST(LockTable, MutualExclusionAndFifoHandoff)
+{
+    Harness h;
+    std::vector<CoreId> grants;
+    h.locks.acquire(1, 0, [&] { grants.push_back(0); });
+    h.locks.acquire(1, 1, [&] { grants.push_back(1); });
+    h.locks.acquire(1, 2, [&] { grants.push_back(2); });
+    h.eq.run();
+    ASSERT_EQ(grants.size(), 1u); // others wait for release
+    h.locks.release(1, 0);
+    h.eq.run();
+    ASSERT_EQ(grants.size(), 2u);
+    EXPECT_EQ(grants[1], 1u);
+    h.locks.release(1, 1);
+    h.eq.run();
+    ASSERT_EQ(grants.size(), 3u);
+    EXPECT_EQ(grants[2], 2u);
+    h.locks.release(1, 2);
+    EXPECT_FALSE(h.locks.held(1));
+}
+
+TEST(LockTable, IndependentLocks)
+{
+    Harness h;
+    int grants = 0;
+    h.locks.acquire(1, 0, [&] { ++grants; });
+    h.locks.acquire(2, 1, [&] { ++grants; });
+    h.eq.run();
+    EXPECT_EQ(grants, 2);
+}
+
+TEST(LockTable, ContendedCounterTracksWaits)
+{
+    Harness h;
+    h.locks.acquire(7, 0, [] {});
+    h.locks.acquire(7, 1, [] {});
+    h.eq.run();
+    EXPECT_EQ(h.locks.acquires.value(), 1u);
+    EXPECT_EQ(h.locks.contendedAcquires.value(), 1u);
+    h.locks.release(7, 0);
+    h.eq.run();
+    EXPECT_EQ(h.locks.acquires.value(), 2u);
+}
+
+TEST(LockTable, CancelWaitRemovesWaiter)
+{
+    Harness h;
+    bool granted = false;
+    h.locks.acquire(3, 0, [] {});
+    h.eq.run();
+    h.locks.acquire(3, 1, [&] { granted = true; });
+    EXPECT_TRUE(h.locks.cancelWait(3, 1));
+    h.locks.release(3, 0);
+    h.eq.run();
+    EXPECT_FALSE(granted);
+    EXPECT_FALSE(h.locks.held(3));
+}
+
+TEST(LockTable, CancelWaitOnNonWaiterReturnsFalse)
+{
+    Harness h;
+    EXPECT_FALSE(h.locks.cancelWait(3, 1));
+    h.locks.acquire(3, 0, [] {});
+    h.eq.run();
+    EXPECT_FALSE(h.locks.cancelWait(3, 0)); // holder, not waiter
+    h.locks.release(3, 0);
+}
+
+TEST(LockTable, ReleaseOfUnheldLockPanics)
+{
+    Harness h;
+    EXPECT_DEATH(h.locks.release(9, 0), "unheld");
+}
+
+TEST(LockTable, ReleaseByNonOwnerPanics)
+{
+    Harness h;
+    h.locks.acquire(4, 0, [] {});
+    h.eq.run();
+    EXPECT_DEATH(h.locks.release(4, 1), "held by");
+}
+
+TEST(LockTable, HandoffChargesLatency)
+{
+    Harness h;
+    Tick granted_at = 0;
+    h.locks.acquire(5, 0, [] {});
+    h.eq.run();
+    const Tick release_time = h.eq.now();
+    h.locks.acquire(5, 1, [&] { granted_at = h.eq.now(); });
+    h.locks.release(5, 0);
+    h.eq.run();
+    EXPECT_GT(granted_at, release_time);
+}

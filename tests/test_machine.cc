@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Machine-level integration tests: multi-core determinism, the
+ * spec-buffer pause, and misspeculation-driven rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+
+using namespace pmemspec;
+using cpu::Machine;
+using cpu::MachineConfig;
+using cpu::Trace;
+using cpu::TraceOp;
+using persistency::Design;
+
+namespace
+{
+
+MachineConfig
+config(Design d, unsigned cores)
+{
+    MachineConfig m;
+    m.design = d;
+    m.mem.numCores = cores;
+    return m;
+}
+
+Trace
+simpleFase(Addr base, int stores)
+{
+    Trace t;
+    t.push_back({TraceOp::FaseBegin, 0});
+    for (int i = 0; i < stores; ++i)
+        t.push_back({TraceOp::Store, base + static_cast<Addr>(i) * 8});
+    t.push_back({TraceOp::SpecBarrier, 0});
+    t.push_back({TraceOp::FaseEnd, 0});
+    return t;
+}
+
+} // namespace
+
+TEST(Machine, RunsMultipleCoresToCompletion)
+{
+    Machine m(config(Design::PmemSpec, 4));
+    std::vector<Trace> traces;
+    for (unsigned c = 0; c < 4; ++c)
+        traces.push_back(simpleFase(0x10000 + c * 0x1000, 8));
+    m.setTraces(std::move(traces));
+    auto r = m.run();
+    EXPECT_EQ(r.fases, 4u);
+    EXPECT_GT(r.simTicks, 0u);
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    Tick first = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        Machine m(config(Design::HOPS, 2));
+        std::vector<Trace> traces;
+        traces.push_back(simpleFase(0x10000, 4));
+        traces.push_back(simpleFase(0x20000, 4));
+        // HOPS traces use dfence, not spec-barrier; patch them.
+        for (auto &t : traces)
+            for (auto &i : t)
+                if (i.op == TraceOp::SpecBarrier)
+                    i.op = TraceOp::Dfence;
+        m.setTraces(std::move(traces));
+        auto r = m.run();
+        if (rep == 0)
+            first = r.simTicks;
+        else
+            EXPECT_EQ(r.simTicks, first);
+    }
+}
+
+TEST(Machine, WrongTraceCountIsFatal)
+{
+    Machine m(config(Design::IntelX86, 2));
+    std::vector<Trace> traces(1);
+    EXPECT_DEATH(m.setTraces(std::move(traces)), "traces for");
+}
+
+TEST(Machine, SpecBufferOverflowPausesButCompletes)
+{
+    MachineConfig cfg = config(Design::PmemSpec, 2);
+    cfg.mem.specBufferEntries = 1;
+    cfg.mem.l1Bytes = 1024;     // 16 blocks
+    cfg.mem.llcBytes = 2048;    // 32 blocks: heavy dirty eviction
+    Machine m(cfg);
+    std::vector<Trace> traces;
+    for (unsigned c = 0; c < 2; ++c) {
+        Trace t;
+        t.push_back({TraceOp::FaseBegin, 0});
+        for (int i = 0; i < 256; ++i)
+            t.push_back({TraceOp::Store,
+                         0x10000 + c * 0x100000 +
+                             static_cast<Addr>(i) * 64});
+        t.push_back({TraceOp::SpecBarrier, 0});
+        t.push_back({TraceOp::FaseEnd, 0});
+        traces.push_back(std::move(t));
+    }
+    m.setTraces(std::move(traces));
+    auto r = m.run();
+    EXPECT_EQ(r.fases, 2u);
+    EXPECT_GT(r.specBufFullPauses, 0u);
+}
+
+TEST(Machine, MisspecInterruptAbortsAndReexecutesFases)
+{
+    // Drive the speculation machinery directly: mid-run, fire the
+    // misspec callback and observe the rollback re-execute the FASE.
+    MachineConfig cfg = config(Design::PmemSpec, 1);
+    cfg.misspecInterruptLatency = nsToTicks(50);
+    cfg.abortHandlerLatency = nsToTicks(50);
+    Machine m(cfg);
+    Trace t = simpleFase(0x10000, 4);
+    std::vector<Trace> traces{t};
+    m.setTraces(std::move(traces));
+    // Inject a virtual power failure shortly after the run starts.
+    auto &sb = m.memory().pmc().specBuffer();
+    m.eventQueue().scheduleIn(nsToTicks(1), [&] {
+        sb.reportStoreMisspec(0x10000);
+    });
+    auto r = m.run();
+    EXPECT_EQ(r.fases, 1u);      // still commits exactly once
+    EXPECT_EQ(r.aborts, 1u);     // after one rollback
+    EXPECT_EQ(r.storeMisspecs, 1u);
+    // The rollback charged interrupt + abort-handler latency.
+    EXPECT_GE(r.simTicks, m.config().misspecInterruptLatency +
+                              m.config().abortHandlerLatency);
+}
+
+TEST(Machine, MisspecOutsideFaseIsHarmless)
+{
+    Machine m(config(Design::PmemSpec, 1));
+    Trace t;
+    t.push_back({TraceOp::Compute, 10000}); // not inside any FASE
+    std::vector<Trace> traces{std::move(t)};
+    m.setTraces(std::move(traces));
+    m.eventQueue().scheduleIn(nsToTicks(1), [&] {
+        m.memory().pmc().specBuffer().reportStoreMisspec(0x10000);
+    });
+    auto r = m.run();
+    EXPECT_EQ(r.aborts, 0u);
+}
+
+TEST(Machine, RollbackReleasesAndReacquiresLocks)
+{
+    Machine m(config(Design::PmemSpec, 2));
+    Trace t;
+    t.push_back({TraceOp::FaseBegin, 0});
+    t.push_back({TraceOp::LockAcq, 1});
+    t.push_back({TraceOp::SpecAssign, 0});
+    t.push_back({TraceOp::Store, 0x10000});
+    t.push_back({TraceOp::Compute, 4000});
+    t.push_back({TraceOp::SpecBarrier, 0});
+    t.push_back({TraceOp::FaseEnd, 0});
+    t.push_back({TraceOp::SpecRevoke, 0});
+    t.push_back({TraceOp::LockRel, 1});
+    std::vector<Trace> traces{t, t};
+    m.setTraces(std::move(traces));
+    m.eventQueue().scheduleIn(nsToTicks(100), [&] {
+        m.memory().pmc().specBuffer().reportStoreMisspec(0x10000);
+    });
+    auto r = m.run();
+    // Both cores complete their FASE despite the rollback (the lock
+    // was released by the abort handler and reacquired on retry).
+    EXPECT_EQ(r.fases, 2u);
+    EXPECT_GE(r.aborts, 1u);
+}
+
+TEST(Machine, ThroughputMetricIsConsistent)
+{
+    Machine m(config(Design::IntelX86, 1));
+    Trace t;
+    for (int f = 0; f < 10; ++f) {
+        t.push_back({TraceOp::FaseBegin, 0});
+        t.push_back({TraceOp::Compute, 200});
+        t.push_back({TraceOp::FaseEnd, 0});
+    }
+    std::vector<Trace> traces{std::move(t)};
+    m.setTraces(std::move(traces));
+    auto r = m.run();
+    EXPECT_EQ(r.fases, 10u);
+    // 10 FASEs of 100ns each -> 10M FASEs/s.
+    EXPECT_NEAR(r.throughput(), 1e7, 1e6);
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the functional PM model: allocation, the two images,
+ * in-order persist semantics, crash prefixes, and the observer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/persistent_memory.hh"
+
+using namespace pmemspec;
+using runtime::MemOp;
+using runtime::PersistentMemory;
+
+TEST(PersistentMemory, AllocRespectsAlignment)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(10, 64);
+    EXPECT_EQ(a % 64, 0u);
+    Addr b = pm.alloc(10, 64);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 10);
+}
+
+TEST(PersistentMemory, AddressZeroIsNeverAllocated)
+{
+    PersistentMemory pm(1 << 20);
+    EXPECT_NE(pm.alloc(8), 0u);
+}
+
+TEST(PersistentMemory, WriteReadRoundTrip)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(16);
+    pm.writeU64(a, 0xdeadbeefULL);
+    EXPECT_EQ(pm.readU64(a), 0xdeadbeefULL);
+    pm.writeU32(a + 8, 77);
+    EXPECT_EQ(pm.readU32(a + 8), 77u);
+}
+
+TEST(PersistentMemory, WritesAreVolatileUntilPersisted)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(8);
+    pm.writeU64(a, 42);
+    std::uint64_t persisted;
+    std::memcpy(&persisted, pm.persistedImage() + a, 8);
+    EXPECT_EQ(persisted, 0u);
+    pm.persistAll();
+    std::memcpy(&persisted, pm.persistedImage() + a, 8);
+    EXPECT_EQ(persisted, 42u);
+    EXPECT_EQ(pm.inFlightCount(), 0u);
+}
+
+TEST(PersistentMemory, CrashKeepsAnInOrderPrefix)
+{
+    // Strict persistency: a crash applies the first k in-flight
+    // stores in store order and drops the rest.
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(8);
+    Addr b = pm.alloc(8);
+    Addr c = pm.alloc(8);
+    pm.writeU64(a, 1);
+    pm.writeU64(b, 2);
+    pm.writeU64(c, 3);
+    pm.crash(2);
+    EXPECT_EQ(pm.readU64(a), 1u);
+    EXPECT_EQ(pm.readU64(b), 2u);
+    EXPECT_EQ(pm.readU64(c), 0u); // lost
+}
+
+TEST(PersistentMemory, CrashZeroLosesEverythingUnpersisted)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(8);
+    pm.writeU64(a, 7);
+    pm.persistAll();
+    pm.writeU64(a, 9);
+    pm.crash(0);
+    EXPECT_EQ(pm.readU64(a), 7u);
+}
+
+TEST(PersistentMemory, CrashRebootsVolatileFromPersisted)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(8);
+    pm.writeU64(a, 5);
+    pm.crash(0);
+    // The volatile image equals the persisted one after reboot.
+    EXPECT_EQ(std::memcmp(pm.volatileImage(), pm.persistedImage(),
+                          pm.size()),
+              0);
+}
+
+TEST(PersistentMemory, LaterWriteToSameAddressWins)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(8);
+    pm.writeU64(a, 1);
+    pm.writeU64(a, 2);
+    pm.crash(2);
+    EXPECT_EQ(pm.readU64(a), 2u);
+}
+
+TEST(PersistentMemory, PrefixReplayPreservesOrderAcrossOverwrites)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(8);
+    pm.writeU64(a, 1);
+    pm.writeU64(a, 2);
+    pm.crash(1); // only the first write persisted
+    EXPECT_EQ(pm.readU64(a), 1u);
+}
+
+TEST(PersistentMemory, ObserverSeesAllTraffic)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(64, 64);
+    std::vector<std::tuple<MemOp, Addr, std::uint32_t>> log;
+    pm.setObserver([&](MemOp op, Addr addr, std::uint32_t n) {
+        log.emplace_back(op, addr, n);
+    });
+    pm.writeU64(a, 1);
+    pm.readU64(a);
+    pm.readU64Dep(a + 8);
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(std::get<0>(log[0]), MemOp::Write);
+    EXPECT_EQ(std::get<0>(log[1]), MemOp::Read);
+    EXPECT_EQ(std::get<0>(log[2]), MemOp::ReadDep);
+    EXPECT_EQ(std::get<1>(log[2]), a + 8);
+    EXPECT_EQ(std::get<2>(log[0]), 8u);
+    pm.setObserver(nullptr);
+    pm.writeU64(a, 2);
+    EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(PersistentMemory, OutOfRangeAccessPanics)
+{
+    PersistentMemory pm(4096);
+    EXPECT_DEATH(pm.readU64(4090), "out of range");
+    EXPECT_DEATH(pm.writeU64(0, 1), "null");
+}
+
+TEST(PersistentMemory, ArenaExhaustionIsFatal)
+{
+    PersistentMemory pm(4096);
+    EXPECT_DEATH(pm.alloc(1 << 20), "exhausted");
+}
+
+TEST(PersistentMemory, InFlightCountTracksStores)
+{
+    PersistentMemory pm(1 << 20);
+    Addr a = pm.alloc(64);
+    EXPECT_EQ(pm.inFlightCount(), 0u);
+    pm.writeU64(a, 1);
+    pm.writeU64(a + 8, 2);
+    EXPECT_EQ(pm.inFlightCount(), 2u);
+    pm.persistAll();
+    EXPECT_EQ(pm.inFlightCount(), 0u);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the persistent array (Array Swaps substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "pmds/pm_array.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using pmds::PmArray;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+struct Harness
+{
+    PersistentMemory pm{1 << 22};
+    VirtualOs os;
+    FaseRuntime rt{pm, os, 1, RecoveryPolicy::Lazy};
+};
+
+} // namespace
+
+TEST(PmArray, InitAndGet)
+{
+    Harness h;
+    PmArray arr(h.pm, 16);
+    for (std::size_t i = 0; i < 16; ++i)
+        arr.init(i, i * 10);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(arr.get(i), i * 10);
+}
+
+TEST(PmArray, ElementsAreDistinct)
+{
+    Harness h;
+    PmArray arr(h.pm, 8, 64);
+    for (std::size_t i = 1; i < 8; ++i)
+        EXPECT_EQ(arr.elemAddr(i) - arr.elemAddr(i - 1), 64u);
+}
+
+TEST(PmArray, SwapExchangesFullElements)
+{
+    Harness h;
+    PmArray arr(h.pm, 4, 64);
+    arr.init(0, 111);
+    arr.init(1, 222);
+    h.rt.runFase(0, [&](Transaction &tx) { arr.swap(tx, 0, 1); });
+    EXPECT_EQ(arr.get(0), 222u);
+    EXPECT_EQ(arr.get(1), 111u);
+}
+
+TEST(PmArray, ChecksumInvariantUnderRandomSwaps)
+{
+    Harness h;
+    PmArray arr(h.pm, 64, 64);
+    for (std::size_t i = 0; i < 64; ++i)
+        arr.init(i, i + 1);
+    const auto sum = arr.checksum();
+    Rng rng(5);
+    for (int op = 0; op < 500; ++op) {
+        std::size_t i = rng.below(64);
+        std::size_t j = rng.below(64);
+        h.rt.runFase(0,
+                     [&](Transaction &tx) { arr.swap(tx, i, j); });
+        ASSERT_EQ(arr.checksum(), sum);
+    }
+}
+
+TEST(PmArray, PersistedChecksumMatchesAfterCommit)
+{
+    Harness h;
+    PmArray arr(h.pm, 8, 64);
+    for (std::size_t i = 0; i < 8; ++i)
+        arr.init(i, i);
+    h.pm.persistAll();
+    h.rt.runFase(0, [&](Transaction &tx) { arr.swap(tx, 0, 7); });
+    EXPECT_EQ(arr.persistedChecksum(), arr.checksum());
+}
+
+TEST(PmArray, AbortedSwapLeavesArrayIntact)
+{
+    Harness h;
+    PmArray arr(h.pm, 4, 64);
+    arr.init(0, 10);
+    arr.init(1, 20);
+    h.pm.persistAll();
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            arr.swap(tx, 0, 1);
+            h.os.raiseMisspecInterrupt(arr.elemAddr(0));
+        }
+        // Second attempt does nothing.
+    });
+    EXPECT_EQ(arr.get(0), 10u);
+    EXPECT_EQ(arr.get(1), 20u);
+}
+
+TEST(PmArray, SelfSwapIsIdentity)
+{
+    Harness h;
+    PmArray arr(h.pm, 4, 64);
+    arr.init(2, 99);
+    h.rt.runFase(0, [&](Transaction &tx) { arr.swap(tx, 2, 2); });
+    EXPECT_EQ(arr.get(2), 99u);
+}
+
+TEST(PmArray, OutOfBoundsPanics)
+{
+    Harness h;
+    PmArray arr(h.pm, 4);
+    EXPECT_DEATH(arr.get(4), "out of");
+}

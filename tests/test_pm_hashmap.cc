@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the persistent chained hashmap, including a model
+ * check against std::map under randomised operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "pmds/pm_hashmap.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using pmds::PmHashmap;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+struct Harness
+{
+    PersistentMemory pm{1 << 23};
+    VirtualOs os;
+    FaseRuntime rt{pm, os, 1, RecoveryPolicy::Lazy};
+    PmHashmap hm{pm, 64};
+
+    void
+    put(std::uint64_t k, std::uint64_t v)
+    {
+        rt.runFase(0, [&](Transaction &tx) { hm.put(tx, k, v); });
+    }
+
+    std::optional<std::uint64_t>
+    get(std::uint64_t k)
+    {
+        std::optional<std::uint64_t> out;
+        rt.runFase(0, [&](Transaction &tx) { out = hm.get(tx, k); });
+        return out;
+    }
+
+    bool
+    erase(std::uint64_t k)
+    {
+        bool out = false;
+        rt.runFase(0, [&](Transaction &tx) { out = hm.erase(tx, k); });
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(PmHashmap, MissingKeyReturnsNothing)
+{
+    Harness h;
+    EXPECT_FALSE(h.get(1).has_value());
+    EXPECT_FALSE(h.hm.lookup(1).has_value());
+}
+
+TEST(PmHashmap, PutThenGet)
+{
+    Harness h;
+    h.put(1, 100);
+    EXPECT_EQ(h.get(1), 100u);
+    EXPECT_EQ(h.hm.lookup(1), 100u);
+    EXPECT_EQ(h.hm.size(), 1u);
+}
+
+TEST(PmHashmap, PutOverwrites)
+{
+    Harness h;
+    h.put(1, 100);
+    h.put(1, 200);
+    EXPECT_EQ(h.get(1), 200u);
+    EXPECT_EQ(h.hm.size(), 1u);
+}
+
+TEST(PmHashmap, EraseRemoves)
+{
+    Harness h;
+    h.put(1, 100);
+    h.put(2, 200);
+    EXPECT_TRUE(h.erase(1));
+    EXPECT_FALSE(h.get(1).has_value());
+    EXPECT_EQ(h.get(2), 200u);
+    EXPECT_FALSE(h.erase(1));
+    EXPECT_EQ(h.hm.size(), 1u);
+}
+
+TEST(PmHashmap, ChainsHandleCollisions)
+{
+    // With 64 buckets, 512 keys guarantee long chains.
+    Harness h;
+    for (std::uint64_t k = 0; k < 512; ++k)
+        h.put(k, k * 3);
+    EXPECT_EQ(h.hm.size(), 512u);
+    for (std::uint64_t k = 0; k < 512; ++k)
+        ASSERT_EQ(h.get(k), k * 3);
+    EXPECT_TRUE(h.hm.checkInvariants());
+}
+
+TEST(PmHashmap, EraseFromChainMiddle)
+{
+    Harness h;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        h.put(k, k);
+    for (std::uint64_t k = 0; k < 64; k += 2)
+        EXPECT_TRUE(h.erase(k));
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        if (k % 2)
+            ASSERT_EQ(h.get(k), k);
+        else
+            ASSERT_FALSE(h.get(k).has_value());
+    }
+    EXPECT_TRUE(h.hm.checkInvariants());
+}
+
+TEST(PmHashmap, ModelCheckAgainstStdMap)
+{
+    Harness h;
+    std::map<std::uint64_t, std::uint64_t> model;
+    Rng rng(17);
+    for (int op = 0; op < 1500; ++op) {
+        const std::uint64_t k = rng.below(128);
+        const double dice = rng.uniform();
+        if (dice < 0.5) {
+            const std::uint64_t v = rng.next();
+            h.put(k, v);
+            model[k] = v;
+        } else if (dice < 0.8) {
+            auto got = h.get(k);
+            auto it = model.find(k);
+            if (it == model.end())
+                ASSERT_FALSE(got.has_value());
+            else
+                ASSERT_EQ(got, it->second);
+        } else {
+            ASSERT_EQ(h.erase(k), model.erase(k) > 0);
+        }
+    }
+    EXPECT_EQ(h.hm.size(), model.size());
+    EXPECT_TRUE(h.hm.checkInvariants());
+}
+
+TEST(PmHashmap, AbortedPutRollsBack)
+{
+    Harness h;
+    h.put(1, 100);
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            h.hm.put(tx, 1, 999); // overwrite
+            h.hm.put(tx, 2, 222); // fresh insert
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_EQ(h.get(1), 100u);
+    EXPECT_FALSE(h.get(2).has_value());
+    EXPECT_TRUE(h.hm.checkInvariants());
+}
+
+TEST(PmHashmap, BucketOfIsStable)
+{
+    Harness h;
+    EXPECT_EQ(h.hm.bucketOf(42), h.hm.bucketOf(42));
+    EXPECT_LT(h.hm.bucketOf(42), h.hm.buckets());
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the persistent FIFO queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hh"
+#include "pmds/pm_queue.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using pmds::PmQueue;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+struct Harness
+{
+    PersistentMemory pm{1 << 22};
+    VirtualOs os;
+    FaseRuntime rt{pm, os, 1, RecoveryPolicy::Lazy};
+    PmQueue q{pm, 64};
+
+    void
+    enq(std::uint64_t v)
+    {
+        rt.runFase(0, [&](Transaction &tx) { q.enqueue(tx, v); });
+    }
+
+    std::optional<std::uint64_t>
+    deq()
+    {
+        std::optional<std::uint64_t> out;
+        rt.runFase(0, [&](Transaction &tx) { out = q.dequeue(tx); });
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(PmQueue, StartsEmpty)
+{
+    Harness h;
+    EXPECT_EQ(h.q.size(), 0u);
+    EXPECT_FALSE(h.q.front().has_value());
+    EXPECT_TRUE(h.q.checkInvariants());
+}
+
+TEST(PmQueue, DequeueEmptyReturnsNothing)
+{
+    Harness h;
+    EXPECT_FALSE(h.deq().has_value());
+    EXPECT_TRUE(h.q.checkInvariants());
+}
+
+TEST(PmQueue, FifoOrder)
+{
+    Harness h;
+    for (std::uint64_t v = 1; v <= 5; ++v)
+        h.enq(v);
+    EXPECT_EQ(h.q.size(), 5u);
+    for (std::uint64_t v = 1; v <= 5; ++v)
+        EXPECT_EQ(h.deq(), v);
+    EXPECT_EQ(h.q.size(), 0u);
+}
+
+TEST(PmQueue, SingleElementEnqueueDequeue)
+{
+    Harness h;
+    h.enq(42);
+    EXPECT_EQ(h.q.front(), 42u);
+    EXPECT_EQ(h.deq(), 42u);
+    EXPECT_TRUE(h.q.checkInvariants());
+    // Queue is usable again after emptying.
+    h.enq(43);
+    EXPECT_EQ(h.deq(), 43u);
+}
+
+TEST(PmQueue, InvariantsHoldUnderRandomOps)
+{
+    Harness h;
+    std::deque<std::uint64_t> model;
+    Rng rng(3);
+    for (int op = 0; op < 600; ++op) {
+        if (rng.chance(0.6)) {
+            h.enq(op);
+            model.push_back(static_cast<std::uint64_t>(op));
+        } else {
+            auto got = h.deq();
+            if (model.empty()) {
+                ASSERT_FALSE(got.has_value());
+            } else {
+                ASSERT_EQ(got, model.front());
+                model.pop_front();
+            }
+        }
+        ASSERT_EQ(h.q.size(), model.size());
+        ASSERT_TRUE(h.q.checkInvariants());
+    }
+}
+
+TEST(PmQueue, AbortedEnqueueLeavesQueueIntact)
+{
+    Harness h;
+    h.enq(1);
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            h.q.enqueue(tx, 999);
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_EQ(h.q.size(), 1u);
+    EXPECT_EQ(h.q.front(), 1u);
+    EXPECT_TRUE(h.q.checkInvariants());
+}
+
+TEST(PmQueue, AbortedDequeueKeepsElement)
+{
+    Harness h;
+    h.enq(5);
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            h.q.dequeue(tx);
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_EQ(h.q.size(), 1u);
+    EXPECT_EQ(h.q.front(), 5u);
+}
+
+TEST(PmQueue, ValueBytesConfigurable)
+{
+    PersistentMemory pm(1 << 20);
+    PmQueue q(pm, 128);
+    EXPECT_EQ(q.valueBytes(), 128u);
+}

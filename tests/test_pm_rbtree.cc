@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit and property tests for the persistent red-black tree:
+ * model-checked against std::map with the full red-black invariants
+ * verified after every operation of a randomised sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "pmds/pm_rbtree.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using pmds::PmRbTree;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+struct Harness
+{
+    PersistentMemory pm{1 << 23};
+    VirtualOs os;
+    FaseRuntime rt{pm, os, 1, RecoveryPolicy::Lazy, 1 << 17};
+    PmRbTree tree{pm};
+
+    void
+    insert(std::uint64_t k, std::uint64_t v)
+    {
+        rt.runFase(0, [&](Transaction &tx) { tree.insert(tx, k, v); });
+    }
+
+    bool
+    erase(std::uint64_t k)
+    {
+        bool out = false;
+        rt.runFase(0,
+                   [&](Transaction &tx) { out = tree.erase(tx, k); });
+        return out;
+    }
+
+    std::optional<std::uint64_t>
+    find(std::uint64_t k)
+    {
+        std::optional<std::uint64_t> out;
+        rt.runFase(0,
+                   [&](Transaction &tx) { out = tree.find(tx, k); });
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(PmRbTree, EmptyTreeProperties)
+{
+    Harness h;
+    EXPECT_EQ(h.tree.size(), 0u);
+    EXPECT_TRUE(h.tree.checkInvariants());
+    EXPECT_FALSE(h.find(1).has_value());
+}
+
+TEST(PmRbTree, InsertFindSingle)
+{
+    Harness h;
+    h.insert(10, 100);
+    EXPECT_EQ(h.find(10), 100u);
+    EXPECT_EQ(h.tree.lookup(10), 100u);
+    EXPECT_EQ(h.tree.size(), 1u);
+    EXPECT_TRUE(h.tree.checkInvariants());
+}
+
+TEST(PmRbTree, InsertUpdatesInPlace)
+{
+    Harness h;
+    h.insert(10, 100);
+    h.insert(10, 200);
+    EXPECT_EQ(h.find(10), 200u);
+    EXPECT_EQ(h.tree.size(), 1u);
+}
+
+TEST(PmRbTree, AscendingInsertionStaysBalanced)
+{
+    Harness h;
+    for (std::uint64_t k = 1; k <= 256; ++k) {
+        h.insert(k, k);
+        ASSERT_TRUE(h.tree.checkInvariants()) << "at key " << k;
+    }
+    EXPECT_EQ(h.tree.size(), 256u);
+}
+
+TEST(PmRbTree, DescendingInsertionStaysBalanced)
+{
+    Harness h;
+    for (std::uint64_t k = 256; k >= 1; --k) {
+        h.insert(k, k);
+        ASSERT_TRUE(h.tree.checkInvariants());
+    }
+    EXPECT_EQ(h.tree.size(), 256u);
+}
+
+TEST(PmRbTree, EraseMissingReturnsFalse)
+{
+    Harness h;
+    h.insert(5, 5);
+    EXPECT_FALSE(h.erase(7));
+    EXPECT_EQ(h.tree.size(), 1u);
+}
+
+TEST(PmRbTree, EraseLeafRootAndInternal)
+{
+    Harness h;
+    for (std::uint64_t k : {50u, 25u, 75u, 10u, 30u, 60u, 90u})
+        h.insert(k, k);
+    EXPECT_TRUE(h.erase(10)); // leaf
+    EXPECT_TRUE(h.tree.checkInvariants());
+    EXPECT_TRUE(h.erase(50)); // root-ish internal, two children
+    EXPECT_TRUE(h.tree.checkInvariants());
+    EXPECT_TRUE(h.erase(25));
+    EXPECT_TRUE(h.tree.checkInvariants());
+    EXPECT_EQ(h.tree.size(), 4u);
+}
+
+TEST(PmRbTree, DrainToEmptyAndReuse)
+{
+    Harness h;
+    for (std::uint64_t k = 1; k <= 32; ++k)
+        h.insert(k, k);
+    for (std::uint64_t k = 1; k <= 32; ++k) {
+        ASSERT_TRUE(h.erase(k));
+        ASSERT_TRUE(h.tree.checkInvariants());
+    }
+    EXPECT_EQ(h.tree.size(), 0u);
+    h.insert(99, 99);
+    EXPECT_EQ(h.find(99), 99u);
+}
+
+TEST(PmRbTree, ModelCheckRandomisedOps)
+{
+    Harness h;
+    std::map<std::uint64_t, std::uint64_t> model;
+    Rng rng(29);
+    for (int op = 0; op < 1200; ++op) {
+        const std::uint64_t k = 1 + rng.below(200);
+        const double dice = rng.uniform();
+        if (dice < 0.5) {
+            const std::uint64_t v = rng.next();
+            h.insert(k, v);
+            model[k] = v;
+        } else if (dice < 0.75) {
+            ASSERT_EQ(h.erase(k), model.erase(k) > 0);
+        } else {
+            auto got = h.find(k);
+            auto it = model.find(k);
+            if (it == model.end()) {
+                ASSERT_FALSE(got.has_value());
+            } else {
+                ASSERT_EQ(got, it->second);
+            }
+        }
+        if (op % 50 == 0) {
+            ASSERT_TRUE(h.tree.checkInvariants()) << "op " << op;
+        }
+        ASSERT_EQ(h.tree.size(), model.size());
+    }
+    EXPECT_TRUE(h.tree.checkInvariants());
+}
+
+TEST(PmRbTree, AbortedInsertRollsBack)
+{
+    Harness h;
+    for (std::uint64_t k = 1; k <= 16; ++k)
+        h.insert(k * 10, k);
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            // This insert triggers recolouring/rotation churn.
+            h.tree.insert(tx, 55, 55);
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_FALSE(h.tree.lookup(55).has_value());
+    EXPECT_EQ(h.tree.size(), 16u);
+    EXPECT_TRUE(h.tree.checkInvariants());
+}
+
+TEST(PmRbTree, AbortedEraseRollsBack)
+{
+    Harness h;
+    for (std::uint64_t k = 1; k <= 16; ++k)
+        h.insert(k, k);
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            h.tree.erase(tx, 8);
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_EQ(h.tree.lookup(8), 8u);
+    EXPECT_EQ(h.tree.size(), 16u);
+    EXPECT_TRUE(h.tree.checkInvariants());
+}
+
+class RbTreeSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RbTreeSeeds, InvariantsSurviveChurn)
+{
+    Harness h;
+    Rng rng(GetParam());
+    std::map<std::uint64_t, std::uint64_t> model;
+    for (int op = 0; op < 400; ++op) {
+        const std::uint64_t k = 1 + rng.below(64);
+        if (rng.chance(0.55)) {
+            h.insert(k, op);
+            model[k] = static_cast<std::uint64_t>(op);
+        } else {
+            h.erase(k);
+            model.erase(k);
+        }
+    }
+    EXPECT_TRUE(h.tree.checkInvariants());
+    EXPECT_EQ(h.tree.size(), model.size());
+    for (const auto &[k, v] : model)
+        ASSERT_EQ(h.tree.lookup(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeSeeds,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u));

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the speculation buffer: the Figure 5 automaton, the
+ * speculation window, and the full-buffer machine pause (Section 5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/speculation_buffer.hh"
+#include "sim/event_queue.hh"
+
+using namespace pmemspec;
+using mem::MisspecKind;
+using mem::SpecState;
+using mem::SpeculationBuffer;
+using sim::EventQueue;
+
+namespace
+{
+
+constexpr Tick window = nsToTicks(160);
+
+struct Harness
+{
+    EventQueue eq;
+    StatGroup stats{"test"};
+    SpeculationBuffer buf;
+    std::vector<std::pair<Addr, MisspecKind>> misspecs;
+    std::vector<Tick> pauses;
+
+    explicit Harness(unsigned entries = 4)
+        : buf(eq, &stats, entries, window)
+    {
+        buf.setMisspecCallback([this](Addr a, MisspecKind k) {
+            misspecs.emplace_back(a, k);
+        });
+        buf.setPauseCallback([this](Tick w) { pauses.push_back(w); });
+    }
+};
+
+constexpr Addr blockA = 0x1000;
+constexpr Addr blockB = 0x2000;
+
+} // namespace
+
+TEST(SpecBuffer, InitialStateForUntrackedBlocks)
+{
+    Harness h;
+    EXPECT_EQ(h.buf.stateOf(blockA), SpecState::Initial);
+    EXPECT_EQ(h.buf.occupancy(), 0u);
+}
+
+TEST(SpecBuffer, WriteBackMovesToEvict)
+{
+    Harness h;
+    h.buf.writeBack(blockA);
+    EXPECT_EQ(h.buf.stateOf(blockA), SpecState::Evict);
+    EXPECT_EQ(h.buf.occupancy(), 1u);
+    EXPECT_EQ(h.buf.allocations.value(), 1u);
+}
+
+TEST(SpecBuffer, ReadWithoutWriteBackIsIgnored)
+{
+    // Section 5.1.4: no block is monitored before an LLC writeback,
+    // which is what kills the write-on-allocation false positives.
+    Harness h;
+    h.buf.read(blockA);
+    EXPECT_EQ(h.buf.stateOf(blockA), SpecState::Initial);
+    h.buf.persist(blockA);
+    EXPECT_TRUE(h.misspecs.empty());
+}
+
+TEST(SpecBuffer, WriteBackReadMovesToSpeculated)
+{
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.buf.read(blockA);
+    EXPECT_EQ(h.buf.stateOf(blockA), SpecState::Speculated);
+}
+
+TEST(SpecBuffer, FullPatternFiresLoadMisspeculation)
+{
+    // The Figure 6 pattern: WriteBack - Read - Persist.
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.buf.read(blockA);
+    h.buf.persist(blockA);
+    ASSERT_EQ(h.misspecs.size(), 1u);
+    EXPECT_EQ(h.misspecs[0].first, blockA);
+    EXPECT_EQ(h.misspecs[0].second, MisspecKind::LoadStale);
+    EXPECT_EQ(h.buf.loadMisspecs.value(), 1u);
+    // The entry is released after firing.
+    EXPECT_EQ(h.buf.occupancy(), 0u);
+}
+
+TEST(SpecBuffer, PersistBeforeReadIsBenign)
+{
+    // WriteBack - Persist: the in-flight store supersedes the dropped
+    // eviction; a later read returns fresh data from PM.
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.buf.persist(blockA);
+    EXPECT_TRUE(h.misspecs.empty());
+    h.buf.read(blockA);
+    h.buf.persist(blockA);
+    EXPECT_TRUE(h.misspecs.empty());
+}
+
+TEST(SpecBuffer, MultipleReadsStillDetect)
+{
+    // WriteBack(s) - Read(s) - Persist with repeated reads.
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.buf.read(blockA);
+    h.buf.read(blockA);
+    h.buf.read(blockA);
+    h.buf.persist(blockA);
+    EXPECT_EQ(h.buf.loadMisspecs.value(), 1u);
+}
+
+TEST(SpecBuffer, WindowExpiryDeallocates)
+{
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.eq.runUntil(window + 1);
+    EXPECT_EQ(h.buf.occupancy(), 0u);
+    EXPECT_EQ(h.buf.expirations.value(), 1u);
+    // A persist after expiry is no longer monitored.
+    h.buf.read(blockA);
+    h.buf.persist(blockA);
+    EXPECT_TRUE(h.misspecs.empty());
+}
+
+TEST(SpecBuffer, ReadRefreshesWindow)
+{
+    // Section 5.1.2: the window must cover the worst-case persist-
+    // path latency after the *load* reaches the PMC.
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.eq.runUntil(window - nsToTicks(10));
+    h.buf.read(blockA); // restarts the window
+    h.eq.runUntil(window + nsToTicks(50));
+    EXPECT_EQ(h.buf.stateOf(blockA), SpecState::Speculated);
+    h.buf.persist(blockA);
+    EXPECT_EQ(h.buf.loadMisspecs.value(), 1u);
+}
+
+TEST(SpecBuffer, RepeatedWriteBackRefreshesWindow)
+{
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.eq.runUntil(window - nsToTicks(5));
+    h.buf.writeBack(blockA);
+    h.eq.runUntil(window + nsToTicks(100));
+    // Still monitored thanks to the refresh.
+    EXPECT_EQ(h.buf.stateOf(blockA), SpecState::Evict);
+}
+
+TEST(SpecBuffer, DistinctBlocksTrackIndependently)
+{
+    Harness h;
+    h.buf.writeBack(blockA);
+    h.buf.writeBack(blockB);
+    h.buf.read(blockA);
+    EXPECT_EQ(h.buf.stateOf(blockA), SpecState::Speculated);
+    EXPECT_EQ(h.buf.stateOf(blockB), SpecState::Evict);
+    h.buf.persist(blockB); // benign: B was never read
+    EXPECT_TRUE(h.misspecs.empty());
+    h.buf.persist(blockA);
+    EXPECT_EQ(h.buf.loadMisspecs.value(), 1u);
+}
+
+TEST(SpecBuffer, FullBufferTriggersOnePauseAndDrops)
+{
+    Harness h(2);
+    h.buf.writeBack(0x1000);
+    h.buf.writeBack(0x2000);
+    h.buf.writeBack(0x3000); // no room
+    ASSERT_EQ(h.pauses.size(), 1u);
+    EXPECT_EQ(h.pauses[0], window);
+    EXPECT_EQ(h.buf.fullPauses.value(), 1u);
+    EXPECT_EQ(h.buf.droppedInputs.value(), 1u);
+    // Further overflows within the same pause do not re-pause.
+    h.buf.writeBack(0x4000);
+    EXPECT_EQ(h.pauses.size(), 1u);
+    EXPECT_EQ(h.buf.droppedInputs.value(), 2u);
+}
+
+TEST(SpecBuffer, SpaceAvailableAgainAfterWindow)
+{
+    Harness h(1);
+    h.buf.writeBack(0x1000);
+    h.buf.writeBack(0x2000);
+    EXPECT_EQ(h.buf.fullPauses.value(), 1u);
+    h.eq.runUntil(window + 1);
+    EXPECT_EQ(h.buf.occupancy(), 0u);
+    h.buf.writeBack(0x2000);
+    EXPECT_EQ(h.buf.occupancy(), 1u);
+    EXPECT_EQ(h.buf.fullPauses.value(), 1u);
+}
+
+TEST(SpecBuffer, ReportStoreMisspecCountsAndSignals)
+{
+    Harness h;
+    h.buf.reportStoreMisspec(blockB);
+    EXPECT_EQ(h.buf.storeMisspecs.value(), 1u);
+    ASSERT_EQ(h.misspecs.size(), 1u);
+    EXPECT_EQ(h.misspecs[0].second, MisspecKind::StoreOrder);
+}
+
+class SpecBufferSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SpecBufferSizes, CapacityMatchesConfiguration)
+{
+    Harness h(GetParam());
+    EXPECT_EQ(h.buf.capacity(), GetParam());
+    for (unsigned i = 0; i < GetParam(); ++i)
+        h.buf.writeBack(0x1000 + i * 64);
+    EXPECT_EQ(h.buf.occupancy(), GetParam());
+    EXPECT_TRUE(h.pauses.empty());
+    h.buf.writeBack(0x100000);
+    EXPECT_EQ(h.pauses.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpecBufferSizes,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));

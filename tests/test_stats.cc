@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace pmemspec;
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 9;
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksSumMinMaxMean)
+{
+    Accumulator a;
+    a.sample(2);
+    a.sample(8);
+    a.sample(5);
+    EXPECT_DOUBLE_EQ(a.sum(), 15);
+    EXPECT_DOUBLE_EQ(a.mean(), 5);
+    EXPECT_DOUBLE_EQ(a.min(), 2);
+    EXPECT_DOUBLE_EQ(a.max(), 8);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Accumulator, EmptyMeanIsZero)
+{
+    Accumulator a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator a;
+    a.sample(-3);
+    a.sample(1);
+    EXPECT_DOUBLE_EQ(a.min(), -3);
+    EXPECT_DOUBLE_EQ(a.max(), 1);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    Histogram h(0, 10, 5); // buckets of width 2
+    h.sample(1);  // bucket 0
+    h.sample(3);  // bucket 1
+    h.sample(9);  // bucket 4
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.samples(), 3u);
+}
+
+TEST(Histogram, UnderOverflowBins)
+{
+    Histogram h(0, 10, 5);
+    h.sample(-1);
+    h.sample(10); // hi is exclusive
+    h.sample(100);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 2u);
+}
+
+TEST(Histogram, MeanIncludesOutOfRange)
+{
+    Histogram h(0, 10, 2);
+    h.sample(0);
+    h.sample(20);
+    EXPECT_DOUBLE_EQ(h.mean(), 10);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0, 4, 4);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+}
+
+TEST(StatGroup, DumpsQualifiedNames)
+{
+    StatGroup root("machine");
+    StatGroup child("core0", &root);
+    Counter c;
+    c += 5;
+    child.addCounter("fases", &c, "sections done");
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("machine.core0.fases 5"), std::string::npos);
+    EXPECT_NE(out.find("sections done"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup root("r");
+    StatGroup child("c", &root);
+    Counter a, b;
+    a += 1;
+    b += 2;
+    root.addCounter("a", &a);
+    child.addCounter("b", &b);
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4, 1}), 2);
+    EXPECT_NEAR(geomean({1, 2, 4}), 2, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0);
+    EXPECT_DOUBLE_EQ(geomean({7}), 7);
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the TATP subscriber table and UPDATE_LOCATION.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "pmds/tatp.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using pmds::TatpDb;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+std::uint64_t
+subNbr(std::uint64_t s_id)
+{
+    return s_id * 2654435761ULL % (1ULL << 40);
+}
+
+struct Harness
+{
+    PersistentMemory pm{1 << 24};
+    VirtualOs os;
+    TatpDb db{pm, 256};
+    FaseRuntime rt{pm, os, 1, RecoveryPolicy::Lazy};
+};
+
+} // namespace
+
+TEST(Tatp, PopulatesAllSubscribers)
+{
+    Harness h;
+    EXPECT_EQ(h.db.subscribers(), 256u);
+    EXPECT_TRUE(h.db.checkInvariants());
+}
+
+TEST(Tatp, UpdateLocationWritesTheRow)
+{
+    Harness h;
+    bool found = false;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        found = h.db.updateLocation(tx, subNbr(7), 0xCAFE);
+    });
+    EXPECT_TRUE(found);
+    EXPECT_EQ(h.db.location(7), 0xCAFEu);
+    // Other rows untouched.
+    EXPECT_EQ(h.db.location(8), 0u);
+}
+
+TEST(Tatp, UnknownSubscriberNumberFails)
+{
+    Harness h;
+    bool found = true;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        found = h.db.updateLocation(tx, 0xFFFFFFFFFFull, 1);
+    });
+    EXPECT_FALSE(found);
+}
+
+TEST(Tatp, RepeatedUpdatesKeepLastValue)
+{
+    Harness h;
+    for (std::uint32_t loc = 1; loc <= 5; ++loc) {
+        h.rt.runFase(0, [&](Transaction &tx) {
+            h.db.updateLocation(tx, subNbr(3), loc);
+        });
+    }
+    EXPECT_EQ(h.db.location(3), 5u);
+    EXPECT_TRUE(h.db.checkInvariants());
+}
+
+TEST(Tatp, AbortedUpdateRollsBack)
+{
+    Harness h;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        h.db.updateLocation(tx, subNbr(9), 111);
+    });
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            h.db.updateLocation(tx, subNbr(9), 222);
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_EQ(h.db.location(9), 111u);
+}
+
+TEST(Tatp, RandomisedUpdatesStayConsistent)
+{
+    Harness h;
+    Rng rng(31);
+    std::uint32_t expected[256] = {};
+    for (int op = 0; op < 500; ++op) {
+        const std::uint64_t s = rng.below(256);
+        const auto loc = static_cast<std::uint32_t>(rng.next());
+        h.rt.runFase(0, [&](Transaction &tx) {
+            ASSERT_TRUE(h.db.updateLocation(tx, subNbr(s), loc));
+        });
+        expected[s] = loc;
+    }
+    for (std::uint64_t s = 0; s < 256; ++s)
+        ASSERT_EQ(h.db.location(s), expected[s]);
+    EXPECT_TRUE(h.db.checkInvariants());
+}

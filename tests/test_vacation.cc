@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the Vacation reservation system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "pmds/vacation.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using pmds::ResourceKind;
+using pmds::VacationConfig;
+using pmds::VacationDb;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+struct Harness
+{
+    PersistentMemory pm{1 << 25};
+    VirtualOs os;
+    VacationConfig cfg;
+    VacationDb db;
+    FaseRuntime rt{pm, os, 1, RecoveryPolicy::Lazy, 1 << 17};
+
+    Harness() : cfg(makeCfg()), db(pm, cfg) {}
+
+    static VacationConfig
+    makeCfg()
+    {
+        VacationConfig c;
+        c.resourcesPerTable = 128;
+        c.customers = 16;
+        c.numQueries = 4;
+        c.partitionsPerTable = 4;
+        return c;
+    }
+
+    bool
+    reserve(ResourceKind kind, std::vector<std::uint64_t> cands,
+            std::uint64_t customer)
+    {
+        bool out = false;
+        rt.runFase(0, [&](Transaction &tx) {
+            out = db.makeReservation(tx, kind, cands, customer);
+        });
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(Vacation, FreshDatabaseIsConsistent)
+{
+    Harness h;
+    EXPECT_TRUE(h.db.checkInvariants());
+    EXPECT_EQ(h.db.totalReservations(), 0u);
+    EXPECT_EQ(h.db.totalUsedSeats(), 0u);
+}
+
+TEST(Vacation, ReservationMovesOneSeat)
+{
+    Harness h;
+    EXPECT_TRUE(h.reserve(ResourceKind::Car, {3, 7, 11}, 0));
+    EXPECT_EQ(h.db.totalUsedSeats(), 1u);
+    EXPECT_EQ(h.db.totalReservations(), 1u);
+    EXPECT_TRUE(h.db.checkInvariants());
+}
+
+TEST(Vacation, PartitionOfIsStable)
+{
+    Harness h;
+    EXPECT_EQ(h.db.partitionOf(5), 5u % 4);
+    EXPECT_LT(h.db.partitionOf(127), 4u);
+}
+
+TEST(Vacation, ReservationPicksTheCheapestAvailable)
+{
+    Harness h;
+    // Query a single candidate repeatedly until its seats drain; the
+    // 11th reservation must fail over to nothing (free == 0).
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(h.reserve(ResourceKind::Room, {5}, 1));
+    EXPECT_FALSE(h.reserve(ResourceKind::Room, {5}, 1));
+    EXPECT_TRUE(h.db.checkInvariants());
+}
+
+TEST(Vacation, DeleteCustomerReleasesSeats)
+{
+    Harness h;
+    ASSERT_TRUE(h.reserve(ResourceKind::Flight, {1, 2}, 3));
+    ASSERT_TRUE(h.reserve(ResourceKind::Car, {4, 5}, 3));
+    unsigned released = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        released = h.db.deleteCustomerReservations(tx, 3);
+    });
+    EXPECT_EQ(released, 2u);
+    EXPECT_EQ(h.db.totalUsedSeats(), 0u);
+    EXPECT_EQ(h.db.totalReservations(), 0u);
+    EXPECT_TRUE(h.db.checkInvariants());
+}
+
+TEST(Vacation, UpdateTablesChangesPriceOnly)
+{
+    Harness h;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        h.db.updateTables(tx, ResourceKind::Car, 9, 12345);
+    });
+    EXPECT_EQ(h.db.totalUsedSeats(), 0u);
+    EXPECT_TRUE(h.db.checkInvariants());
+}
+
+TEST(Vacation, AbortedReservationRollsBack)
+{
+    Harness h;
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        if (++runs == 1) {
+            h.db.makeReservation(tx, ResourceKind::Car, {1, 2, 3}, 0);
+            h.os.raiseMisspecInterrupt(1);
+        }
+    });
+    EXPECT_EQ(h.db.totalUsedSeats(), 0u);
+    EXPECT_EQ(h.db.totalReservations(), 0u);
+    EXPECT_TRUE(h.db.checkInvariants());
+}
+
+TEST(Vacation, RandomisedMixKeepsSeatConservation)
+{
+    Harness h;
+    Rng rng(43);
+    for (int op = 0; op < 300; ++op) {
+        const auto kind = static_cast<ResourceKind>(rng.below(3));
+        const std::uint64_t customer = rng.below(16);
+        const double dice = rng.uniform();
+        if (dice < 0.7) {
+            std::vector<std::uint64_t> cands;
+            for (unsigned q = 0; q < 4; ++q)
+                cands.push_back(rng.below(128));
+            h.reserve(kind, cands, customer);
+        } else if (dice < 0.85) {
+            h.rt.runFase(0, [&](Transaction &tx) {
+                h.db.deleteCustomerReservations(tx, customer);
+            });
+        } else {
+            h.rt.runFase(0, [&](Transaction &tx) {
+                h.db.updateTables(tx, kind, rng.below(128),
+                                  static_cast<std::uint32_t>(
+                                      50 + rng.below(500)));
+            });
+        }
+    }
+    EXPECT_TRUE(h.db.checkInvariants());
+}

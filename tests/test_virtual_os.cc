@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the OS misspeculation relay (Section 6.1.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using runtime::Pid;
+using runtime::VirtualOs;
+
+TEST(VirtualOs, RegistersDistinctPids)
+{
+    VirtualOs os;
+    Pid a = os.registerProcess([](Addr) {});
+    Pid b = os.registerProcess([](Addr) {});
+    EXPECT_NE(a, b);
+}
+
+TEST(VirtualOs, RelaysToTheOwningProcess)
+{
+    VirtualOs os;
+    std::vector<Addr> a_faults, b_faults;
+    Pid a = os.registerProcess([&](Addr f) { a_faults.push_back(f); });
+    Pid b = os.registerProcess([&](Addr f) { b_faults.push_back(f); });
+    os.registerRegion(a, 0x1000, 0x1000);
+    os.registerRegion(b, 0x4000, 0x1000);
+
+    auto hit = os.raiseMisspecInterrupt(0x1800);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, a);
+    EXPECT_EQ(a_faults, std::vector<Addr>{0x1800});
+    EXPECT_TRUE(b_faults.empty());
+
+    hit = os.raiseMisspecInterrupt(0x4000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, b);
+}
+
+TEST(VirtualOs, MailboxHoldsTheFaultingAddress)
+{
+    VirtualOs os;
+    Pid p = os.registerProcess([](Addr) {});
+    os.registerRegion(p, 0x1000, 0x100);
+    os.raiseMisspecInterrupt(0x1050);
+    EXPECT_EQ(os.mailbox(), 0x1050u);
+}
+
+TEST(VirtualOs, UnownedAddressesAreDropped)
+{
+    VirtualOs os;
+    Pid p = os.registerProcess([](Addr) {});
+    os.registerRegion(p, 0x1000, 0x100);
+    auto hit = os.raiseMisspecInterrupt(0x9000);
+    EXPECT_FALSE(hit.has_value());
+    EXPECT_EQ(os.dropped(), 1u);
+    EXPECT_EQ(os.delivered(), 0u);
+}
+
+TEST(VirtualOs, RegionBoundariesAreHalfOpen)
+{
+    VirtualOs os;
+    Pid p = os.registerProcess([](Addr) {});
+    os.registerRegion(p, 0x1000, 0x100);
+    EXPECT_TRUE(os.raiseMisspecInterrupt(0x1000).has_value());
+    EXPECT_TRUE(os.raiseMisspecInterrupt(0x10ff).has_value());
+    EXPECT_FALSE(os.raiseMisspecInterrupt(0x1100).has_value());
+}
+
+TEST(VirtualOs, UnregisterStopsDelivery)
+{
+    VirtualOs os;
+    int delivered = 0;
+    Pid p = os.registerProcess([&](Addr) { ++delivered; });
+    os.registerRegion(p, 0x1000, 0x100);
+    os.unregisterProcess(p);
+    EXPECT_FALSE(os.raiseMisspecInterrupt(0x1000).has_value());
+    EXPECT_EQ(delivered, 0);
+}
+
+TEST(VirtualOs, MultipleRegionsPerProcess)
+{
+    VirtualOs os;
+    int delivered = 0;
+    Pid p = os.registerProcess([&](Addr) { ++delivered; });
+    os.registerRegion(p, 0x1000, 0x100);
+    os.registerRegion(p, 0x8000, 0x100);
+    os.raiseMisspecInterrupt(0x1000);
+    os.raiseMisspecInterrupt(0x8050);
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(os.delivered(), 2u);
+}
+
+TEST(VirtualOs, RegisterRegionForUnknownPidIsFatal)
+{
+    VirtualOs os;
+    EXPECT_DEATH(os.registerRegion(99, 0, 10), "unknown pid");
+}
