@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detection.dir/ablation_detection.cc.o"
+  "CMakeFiles/ablation_detection.dir/ablation_detection.cc.o.d"
+  "ablation_detection"
+  "ablation_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multipmc.dir/ablation_multipmc.cc.o"
+  "CMakeFiles/ablation_multipmc.dir/ablation_multipmc.cc.o.d"
+  "ablation_multipmc"
+  "ablation_multipmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multipmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components_gbench.dir/components_gbench.cc.o"
+  "CMakeFiles/components_gbench.dir/components_gbench.cc.o.d"
+  "components_gbench"
+  "components_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cores.dir/fig10_cores.cc.o"
+  "CMakeFiles/fig10_cores.dir/fig10_cores.cc.o.d"
+  "fig10_cores"
+  "fig10_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

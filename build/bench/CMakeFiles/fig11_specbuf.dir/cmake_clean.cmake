@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_specbuf.dir/fig11_specbuf.cc.o"
+  "CMakeFiles/fig11_specbuf.dir/fig11_specbuf.cc.o.d"
+  "fig11_specbuf"
+  "fig11_specbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_specbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

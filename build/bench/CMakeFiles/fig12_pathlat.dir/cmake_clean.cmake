@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pathlat.dir/fig12_pathlat.cc.o"
+  "CMakeFiles/fig12_pathlat.dir/fig12_pathlat.cc.o.d"
+  "fig12_pathlat"
+  "fig12_pathlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pathlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misspec_rates.dir/misspec_rates.cc.o"
+  "CMakeFiles/misspec_rates.dir/misspec_rates.cc.o.d"
+  "misspec_rates"
+  "misspec_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misspec_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_comparison.dir/design_comparison.cpp.o"
+  "CMakeFiles/design_comparison.dir/design_comparison.cpp.o.d"
+  "design_comparison"
+  "design_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misspec_recovery.dir/misspec_recovery.cpp.o"
+  "CMakeFiles/misspec_recovery.dir/misspec_recovery.cpp.o.d"
+  "misspec_recovery"
+  "misspec_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misspec_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_common.dir/bloom_filter.cc.o"
+  "CMakeFiles/pmemspec_common.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/pmemspec_common.dir/logging.cc.o"
+  "CMakeFiles/pmemspec_common.dir/logging.cc.o.d"
+  "CMakeFiles/pmemspec_common.dir/stats.cc.o"
+  "CMakeFiles/pmemspec_common.dir/stats.cc.o.d"
+  "libpmemspec_common.a"
+  "libpmemspec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

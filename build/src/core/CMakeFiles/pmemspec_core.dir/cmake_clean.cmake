@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_core.dir/experiment.cc.o"
+  "CMakeFiles/pmemspec_core.dir/experiment.cc.o.d"
+  "libpmemspec_core.a"
+  "libpmemspec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

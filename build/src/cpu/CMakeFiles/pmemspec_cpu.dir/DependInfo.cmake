@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/lock_table.cc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/lock_table.cc.o" "gcc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/lock_table.cc.o.d"
+  "/root/repo/src/cpu/machine.cc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/machine.cc.o" "gcc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/machine.cc.o.d"
+  "/root/repo/src/cpu/trace.cc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/trace.cc.o" "gcc" "src/cpu/CMakeFiles/pmemspec_cpu.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/pmemspec_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemspec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

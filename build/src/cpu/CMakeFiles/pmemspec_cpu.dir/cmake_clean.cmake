@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_cpu.dir/core.cc.o"
+  "CMakeFiles/pmemspec_cpu.dir/core.cc.o.d"
+  "CMakeFiles/pmemspec_cpu.dir/lock_table.cc.o"
+  "CMakeFiles/pmemspec_cpu.dir/lock_table.cc.o.d"
+  "CMakeFiles/pmemspec_cpu.dir/machine.cc.o"
+  "CMakeFiles/pmemspec_cpu.dir/machine.cc.o.d"
+  "CMakeFiles/pmemspec_cpu.dir/trace.cc.o"
+  "CMakeFiles/pmemspec_cpu.dir/trace.cc.o.d"
+  "libpmemspec_cpu.a"
+  "libpmemspec_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/pmemspec_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/pmemspec_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/pmemspec_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/pmemspec_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/persist_buffer.cc" "src/mem/CMakeFiles/pmemspec_mem.dir/persist_buffer.cc.o" "gcc" "src/mem/CMakeFiles/pmemspec_mem.dir/persist_buffer.cc.o.d"
+  "/root/repo/src/mem/persist_path.cc" "src/mem/CMakeFiles/pmemspec_mem.dir/persist_path.cc.o" "gcc" "src/mem/CMakeFiles/pmemspec_mem.dir/persist_path.cc.o.d"
+  "/root/repo/src/mem/pm_controller.cc" "src/mem/CMakeFiles/pmemspec_mem.dir/pm_controller.cc.o" "gcc" "src/mem/CMakeFiles/pmemspec_mem.dir/pm_controller.cc.o.d"
+  "/root/repo/src/mem/speculation_buffer.cc" "src/mem/CMakeFiles/pmemspec_mem.dir/speculation_buffer.cc.o" "gcc" "src/mem/CMakeFiles/pmemspec_mem.dir/speculation_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pmemspec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

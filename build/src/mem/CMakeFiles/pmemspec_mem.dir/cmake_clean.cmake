@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_mem.dir/cache.cc.o"
+  "CMakeFiles/pmemspec_mem.dir/cache.cc.o.d"
+  "CMakeFiles/pmemspec_mem.dir/memory_system.cc.o"
+  "CMakeFiles/pmemspec_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/pmemspec_mem.dir/persist_buffer.cc.o"
+  "CMakeFiles/pmemspec_mem.dir/persist_buffer.cc.o.d"
+  "CMakeFiles/pmemspec_mem.dir/persist_path.cc.o"
+  "CMakeFiles/pmemspec_mem.dir/persist_path.cc.o.d"
+  "CMakeFiles/pmemspec_mem.dir/pm_controller.cc.o"
+  "CMakeFiles/pmemspec_mem.dir/pm_controller.cc.o.d"
+  "CMakeFiles/pmemspec_mem.dir/speculation_buffer.cc.o"
+  "CMakeFiles/pmemspec_mem.dir/speculation_buffer.cc.o.d"
+  "libpmemspec_mem.a"
+  "libpmemspec_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

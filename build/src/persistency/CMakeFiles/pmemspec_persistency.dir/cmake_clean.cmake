@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_persistency.dir/lowering.cc.o"
+  "CMakeFiles/pmemspec_persistency.dir/lowering.cc.o.d"
+  "libpmemspec_persistency.a"
+  "libpmemspec_persistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_persistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmds/kv_store.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/kv_store.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/kv_store.cc.o.d"
+  "/root/repo/src/pmds/pm_array.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_array.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_array.cc.o.d"
+  "/root/repo/src/pmds/pm_hashmap.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_hashmap.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_hashmap.cc.o.d"
+  "/root/repo/src/pmds/pm_queue.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_queue.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_queue.cc.o.d"
+  "/root/repo/src/pmds/pm_rbtree.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_rbtree.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/pm_rbtree.cc.o.d"
+  "/root/repo/src/pmds/tatp.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/tatp.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/tatp.cc.o.d"
+  "/root/repo/src/pmds/tpcc.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/tpcc.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/tpcc.cc.o.d"
+  "/root/repo/src/pmds/vacation.cc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/vacation.cc.o" "gcc" "src/pmds/CMakeFiles/pmemspec_pmds.dir/vacation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pmemspec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

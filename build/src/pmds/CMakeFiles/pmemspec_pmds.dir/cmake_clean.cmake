@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_pmds.dir/kv_store.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/kv_store.cc.o.d"
+  "CMakeFiles/pmemspec_pmds.dir/pm_array.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/pm_array.cc.o.d"
+  "CMakeFiles/pmemspec_pmds.dir/pm_hashmap.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/pm_hashmap.cc.o.d"
+  "CMakeFiles/pmemspec_pmds.dir/pm_queue.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/pm_queue.cc.o.d"
+  "CMakeFiles/pmemspec_pmds.dir/pm_rbtree.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/pm_rbtree.cc.o.d"
+  "CMakeFiles/pmemspec_pmds.dir/tatp.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/tatp.cc.o.d"
+  "CMakeFiles/pmemspec_pmds.dir/tpcc.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/tpcc.cc.o.d"
+  "CMakeFiles/pmemspec_pmds.dir/vacation.cc.o"
+  "CMakeFiles/pmemspec_pmds.dir/vacation.cc.o.d"
+  "libpmemspec_pmds.a"
+  "libpmemspec_pmds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_pmds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

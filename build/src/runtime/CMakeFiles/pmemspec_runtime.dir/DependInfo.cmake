@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/fase_runtime.cc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/fase_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/fase_runtime.cc.o.d"
+  "/root/repo/src/runtime/persistent_memory.cc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/persistent_memory.cc.o" "gcc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/persistent_memory.cc.o.d"
+  "/root/repo/src/runtime/undo_log.cc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/undo_log.cc.o" "gcc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/undo_log.cc.o.d"
+  "/root/repo/src/runtime/virtual_os.cc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/virtual_os.cc.o" "gcc" "src/runtime/CMakeFiles/pmemspec_runtime.dir/virtual_os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmemspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

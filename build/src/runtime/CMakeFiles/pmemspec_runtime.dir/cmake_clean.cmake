@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_runtime.dir/fase_runtime.cc.o"
+  "CMakeFiles/pmemspec_runtime.dir/fase_runtime.cc.o.d"
+  "CMakeFiles/pmemspec_runtime.dir/persistent_memory.cc.o"
+  "CMakeFiles/pmemspec_runtime.dir/persistent_memory.cc.o.d"
+  "CMakeFiles/pmemspec_runtime.dir/undo_log.cc.o"
+  "CMakeFiles/pmemspec_runtime.dir/undo_log.cc.o.d"
+  "CMakeFiles/pmemspec_runtime.dir/virtual_os.cc.o"
+  "CMakeFiles/pmemspec_runtime.dir/virtual_os.cc.o.d"
+  "libpmemspec_runtime.a"
+  "libpmemspec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

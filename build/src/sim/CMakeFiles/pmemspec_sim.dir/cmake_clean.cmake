@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pmemspec_sim.dir/event_queue.cc.o.d"
+  "libpmemspec_sim.a"
+  "libpmemspec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

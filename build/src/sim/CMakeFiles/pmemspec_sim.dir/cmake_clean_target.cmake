@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmemspec_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemspec_workloads.dir/trace_recorder.cc.o"
+  "CMakeFiles/pmemspec_workloads.dir/trace_recorder.cc.o.d"
+  "CMakeFiles/pmemspec_workloads.dir/workload.cc.o"
+  "CMakeFiles/pmemspec_workloads.dir/workload.cc.o.d"
+  "libpmemspec_workloads.a"
+  "libpmemspec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemspec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fase_runtime.dir/test_fase_runtime.cc.o"
+  "CMakeFiles/test_fase_runtime.dir/test_fase_runtime.cc.o.d"
+  "test_fase_runtime"
+  "test_fase_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fase_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

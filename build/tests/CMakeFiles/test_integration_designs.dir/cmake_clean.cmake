@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_designs.dir/test_integration_designs.cc.o"
+  "CMakeFiles/test_integration_designs.dir/test_integration_designs.cc.o.d"
+  "test_integration_designs"
+  "test_integration_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_store.dir/test_kv_store.cc.o"
+  "CMakeFiles/test_kv_store.dir/test_kv_store.cc.o.d"
+  "test_kv_store"
+  "test_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

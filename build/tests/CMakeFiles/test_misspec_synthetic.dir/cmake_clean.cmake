@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misspec_synthetic.dir/test_misspec_synthetic.cc.o"
+  "CMakeFiles/test_misspec_synthetic.dir/test_misspec_synthetic.cc.o.d"
+  "test_misspec_synthetic"
+  "test_misspec_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misspec_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_pmc.dir/test_multi_pmc.cc.o"
+  "CMakeFiles/test_multi_pmc.dir/test_multi_pmc.cc.o.d"
+  "test_multi_pmc"
+  "test_multi_pmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_pmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persist_buffer.dir/test_persist_buffer.cc.o"
+  "CMakeFiles/test_persist_buffer.dir/test_persist_buffer.cc.o.d"
+  "test_persist_buffer"
+  "test_persist_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persist_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

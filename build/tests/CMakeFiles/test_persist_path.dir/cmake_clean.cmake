@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persist_path.dir/test_persist_path.cc.o"
+  "CMakeFiles/test_persist_path.dir/test_persist_path.cc.o.d"
+  "test_persist_path"
+  "test_persist_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persist_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

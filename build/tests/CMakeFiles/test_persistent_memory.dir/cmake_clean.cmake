@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistent_memory.dir/test_persistent_memory.cc.o"
+  "CMakeFiles/test_persistent_memory.dir/test_persistent_memory.cc.o.d"
+  "test_persistent_memory"
+  "test_persistent_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistent_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_array.dir/test_pm_array.cc.o"
+  "CMakeFiles/test_pm_array.dir/test_pm_array.cc.o.d"
+  "test_pm_array"
+  "test_pm_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

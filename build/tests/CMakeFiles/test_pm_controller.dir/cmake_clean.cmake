@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_controller.dir/test_pm_controller.cc.o"
+  "CMakeFiles/test_pm_controller.dir/test_pm_controller.cc.o.d"
+  "test_pm_controller"
+  "test_pm_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

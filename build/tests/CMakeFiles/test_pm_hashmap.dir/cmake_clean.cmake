@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_hashmap.dir/test_pm_hashmap.cc.o"
+  "CMakeFiles/test_pm_hashmap.dir/test_pm_hashmap.cc.o.d"
+  "test_pm_hashmap"
+  "test_pm_hashmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_queue.dir/test_pm_queue.cc.o"
+  "CMakeFiles/test_pm_queue.dir/test_pm_queue.cc.o.d"
+  "test_pm_queue"
+  "test_pm_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_rbtree.dir/test_pm_rbtree.cc.o"
+  "CMakeFiles/test_pm_rbtree.dir/test_pm_rbtree.cc.o.d"
+  "test_pm_rbtree"
+  "test_pm_rbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_rbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_speculation_buffer.cc" "tests/CMakeFiles/test_speculation_buffer.dir/test_speculation_buffer.cc.o" "gcc" "tests/CMakeFiles/test_speculation_buffer.dir/test_speculation_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmemspec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pmemspec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmds/CMakeFiles/pmemspec_pmds.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pmemspec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/persistency/CMakeFiles/pmemspec_persistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pmemspec_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pmemspec_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemspec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemspec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

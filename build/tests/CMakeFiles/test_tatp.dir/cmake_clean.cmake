@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tatp.dir/test_tatp.cc.o"
+  "CMakeFiles/test_tatp.dir/test_tatp.cc.o.d"
+  "test_tatp"
+  "test_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

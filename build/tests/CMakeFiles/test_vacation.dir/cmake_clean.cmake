@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vacation.dir/test_vacation.cc.o"
+  "CMakeFiles/test_vacation.dir/test_vacation.cc.o.d"
+  "test_vacation"
+  "test_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_os.dir/test_virtual_os.cc.o"
+  "CMakeFiles/test_virtual_os.dir/test_virtual_os.cc.o.d"
+  "test_virtual_os"
+  "test_virtual_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
