@@ -26,6 +26,13 @@ Machine::Machine(const MachineConfig &cfg_)
     }
 
     if (cfg.design == Design::PmemSpec) {
+        // The machine's one "process" image: its rollback handler is
+        // reached through the OS reverse map, exactly like the
+        // functional runtime's (Section 6.1.1). All of simulated PM
+        // belongs to it.
+        vosPid = vos.registerProcess(
+            [this](Addr fault) { deliverMisspecSignal(fault); });
+        vos.registerRegion(vosPid, 0, Addr{1} << 62);
         for (unsigned i = 0; i < memsys->numPmcs(); ++i) {
             auto &sb = memsys->pmc(i).specBuffer();
             sb.setMisspecCallback([this](Addr a, mem::MisspecKind k) {
@@ -51,13 +58,22 @@ Machine::setTraces(std::vector<Trace> traces)
 void
 Machine::onMisspeculation(Addr addr, mem::MisspecKind kind)
 {
-    (void)addr;
     (void)kind;
+    // The hardware stores the faulting address in the designated
+    // mailbox and raises the interrupt; the OS resolves the owner
+    // through its reverse map and relays the signal.
+    const auto pid = vos.raiseMisspecInterrupt(addr);
+    panic_if(!pid, "misspec interrupt at %#llx owned by no process",
+             static_cast<unsigned long long>(addr));
+}
+
+void
+Machine::deliverMisspecSignal(Addr fault_addr)
+{
+    (void)fault_addr;
     ++misspecInterrupts;
-    // The hardware stores the faulting address in the OS mailbox and
-    // raises the interrupt; after the OS relays it to the runtime,
-    // every thread currently inside a FASE aborts and re-executes
-    // (conservative rollback, Section 6.2).
+    // After the relay latency, every thread currently inside a FASE
+    // aborts and re-executes (conservative rollback, Section 6.2).
     eq.scheduleIn(cfg.misspecInterruptLatency, [this] {
         for (auto &core : cores)
             core->abortCurrentFase(cfg.abortHandlerLatency);

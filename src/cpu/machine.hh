@@ -16,6 +16,7 @@
 #include "cpu/trace.hh"
 #include "mem/memory_system.hh"
 #include "persistency/design.hh"
+#include "runtime/virtual_os.hh"
 #include "sim/event_queue.hh"
 
 namespace pmemspec::cpu
@@ -81,11 +82,19 @@ class Machine
     StatGroup &stats() { return root; }
     const MachineConfig &config() const { return cfg; }
 
+    /** The OS half of the trap path: the speculation buffer raises
+     *  its interrupt into this relay, which resolves the faulting
+     *  address through the reverse map and invokes the machine's
+     *  rollback handler (Section 6.1.1). */
+    runtime::VirtualOs &os() { return vos; }
+
     /** Next spec-assign value (exposed for tests). */
     SpecId specCounterValue() const { return specCounter; }
 
   private:
     void onMisspeculation(Addr addr, mem::MisspecKind kind);
+    /** OS-relayed half of the trap: broadcast the rollback. */
+    void deliverMisspecSignal(Addr fault_addr);
     void onSpecBufferFull(Tick window);
 
     MachineConfig cfg;
@@ -94,6 +103,8 @@ class Machine
     std::unique_ptr<mem::MemorySystem> memsys;
     std::unique_ptr<LockTable> locks;
     std::vector<std::unique_ptr<Core>> cores;
+    runtime::VirtualOs vos;
+    runtime::Pid vosPid = 0;
     SpecId specCounter = 1;
     unsigned coresDone = 0;
     Counter misspecInterrupts;

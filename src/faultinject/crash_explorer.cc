@@ -1,0 +1,123 @@
+#include "crash_explorer.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+#include "faultinject/fault_injector.hh"
+#include "faultinject/fault_plan.hh"
+#include "runtime/virtual_os.hh"
+
+namespace pmemspec::faultinject
+{
+
+namespace
+{
+
+/** Persist-prefix safety valve: no single FASE in this repo queues
+ *  anywhere near this many persists; hitting it means the inner loop
+ *  is not converging (e.g. a workload whose op is non-deterministic)
+ *  and is reported as a failure instead of spinning forever. */
+constexpr std::size_t maxPrefixesPerOp = std::size_t{1} << 14;
+
+} // namespace
+
+ExploreResult
+exploreCrashPoints(CrashWorkload &wl)
+{
+    ExploreResult res;
+    res.workload = wl.name();
+
+    runtime::PersistentMemory pm(wl.pmBytes());
+    runtime::VirtualOs os;
+    runtime::FaseRuntime rt(pm, os, 1, runtime::RecoveryPolicy::Lazy,
+                            wl.logBytes());
+
+    wl.setup(pm, rt);
+    pm.persistAll();
+
+    FaultInjector inj(pm, os);
+    inj.attach();
+
+    auto fail = [&](std::size_t op, std::size_t k, const char *what) {
+        ++res.failures;
+        res.messages.push_back(std::string(wl.name()) + ": op " +
+                               std::to_string(op) + ", crash prefix " +
+                               std::to_string(k) + ": " + what);
+    };
+
+    // After recovery the two images must agree once in-flight
+    // persists drain: recovery may not leave state that exists only
+    // in the "caches".
+    auto converged = [&] {
+        pm.persistAll();
+        return std::memcmp(pm.volatileImage(), pm.persistedImage(),
+                           pm.size()) == 0;
+    };
+
+    for (std::size_t op = 0; op < wl.numOps(); ++op) {
+        ++res.ops;
+        pm.persistAll();
+        const auto pre = pm.snapshot();
+
+        bool committed = false;
+        for (std::size_t k = 0; !committed; ++k) {
+            if (k >= maxPrefixesPerOp) {
+                fail(op, k, "prefix enumeration did not converge");
+                break;
+            }
+            // Rewind to the pre-operation state. recoverAll() then
+            // resynchronises the undo logs' volatile cursors with the
+            // restored durable image; its writes drain before the
+            // plan is armed so the plan's persist count matches the
+            // (empty) in-flight queue.
+            pm.restore(pre);
+            rt.recoverAll();
+            pm.persistAll();
+            inj.clearPlans();
+            inj.addPlan(std::make_unique<PowerCutPlan>(k));
+
+            bool crashed = false;
+            try {
+                rt.runFase(0, [&](runtime::Transaction &tx) {
+                    wl.runOp(tx, op);
+                });
+                committed = true;
+            } catch (const PowerFailure &) {
+                crashed = true;
+            }
+            // Disarm before recovery: the plan must not count (or
+            // crash on) recovery's own persist stream.
+            inj.clearPlans();
+
+            if (crashed) {
+                ++res.crashPoints;
+                rt.recoverAll();
+                if (!wl.checkInvariants())
+                    fail(op, k, "invariants violated after recovery");
+                if (!wl.matchesModel())
+                    fail(op, k, "recovered state is not the "
+                                "pre-operation state (atomicity)");
+                if (!converged())
+                    fail(op, k, "volatile/persisted images diverge "
+                                "after recovery");
+            }
+        }
+
+        if (committed) {
+            wl.applyToModel(op);
+            if (!wl.checkInvariants())
+                fail(op, res.crashPoints, "invariants violated after commit");
+            if (!wl.matchesModel())
+                fail(op, res.crashPoints,
+                     "committed state does not match the model");
+            if (!converged())
+                fail(op, res.crashPoints,
+                     "volatile/persisted images diverge after commit");
+        }
+    }
+
+    return res;
+}
+
+} // namespace pmemspec::faultinject

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Systematic crash-point exploration.
+ *
+ * Under PMEM-Spec's strict persistency the durable state after a
+ * power failure is always an in-order *prefix* of the persist stream
+ * (PersistentMemory models exactly that). The explorer exploits this
+ * to be exhaustive rather than sampled: for every operation of a
+ * workload it snapshots the PM, then repeatedly re-runs the operation
+ * with a PowerCutPlan armed at durable prefix k = 0, 1, 2, ... Each
+ * armed run crashes after exactly k persists, replays recovery, and
+ * checks the oracles:
+ *
+ *  - all-or-nothing: the recovered structure equals the pre-operation
+ *    shadow model (the cut landed before the commit record, so the
+ *    FASE must vanish);
+ *  - structure invariants: the workload's own consistency check;
+ *  - image convergence: after recovery and a persist barrier the
+ *    volatile and persisted images must be byte-identical.
+ *
+ * The k that never fires is the run whose persist stream fits inside
+ * the allowed prefix -- i.e. the committed run. That terminates the
+ * inner loop and simultaneously discovers the operation's persist
+ * count, so every crash point of every operation is covered without
+ * the workload declaring its write counts.
+ */
+
+#ifndef PMEMSPEC_FAULTINJECT_CRASH_EXPLORER_HH
+#define PMEMSPEC_FAULTINJECT_CRASH_EXPLORER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/fase_runtime.hh"
+#include "runtime/persistent_memory.hh"
+
+namespace pmemspec::faultinject
+{
+
+/**
+ * A workload the explorer can crash at every persist prefix. The
+ * workload owns both the persistent structure under test and a
+ * volatile shadow model of its expected contents.
+ */
+class CrashWorkload
+{
+  public:
+    virtual ~CrashWorkload() = default;
+
+    virtual const char *name() const = 0;
+
+    /** PM arena size for this workload. */
+    virtual std::size_t pmBytes() const { return std::size_t{1} << 21; }
+
+    /** Undo-log bytes for the (single) worker thread. */
+    virtual std::size_t logBytes() const { return std::size_t{1} << 17; }
+
+    /** Build the structure, seed initial contents and reset the
+     *  shadow model to match. Runs before any fault is armed. */
+    virtual void setup(runtime::PersistentMemory &pm,
+                       runtime::FaseRuntime &rt) = 0;
+
+    virtual std::size_t numOps() const = 0;
+
+    /** The FASE body of operation `op`. May execute several times
+     *  (abort/retry), so it must be deterministic given the PM
+     *  state -- exactly the contract a FASE already has. */
+    virtual void runOp(runtime::Transaction &tx, std::size_t op) = 0;
+
+    /** Advance the shadow model past operation `op` (called once,
+     *  after the operation committed). */
+    virtual void applyToModel(std::size_t op) = 0;
+
+    /** Live structure contents equal the shadow model. */
+    virtual bool matchesModel() const = 0;
+
+    /** Structure-specific internal invariants hold. */
+    virtual bool checkInvariants() const = 0;
+};
+
+/** Outcome of exploring one workload. */
+struct ExploreResult
+{
+    std::string workload;
+    std::size_t ops = 0;         ///< operations explored
+    std::size_t crashPoints = 0; ///< crash/recover trials executed
+    std::size_t failures = 0;    ///< oracle violations
+    std::vector<std::string> messages; ///< one per violation
+
+    bool passed() const { return failures == 0; }
+};
+
+/** Run the exhaustive crash-prefix enumeration over one workload. */
+ExploreResult exploreCrashPoints(CrashWorkload &wl);
+
+} // namespace pmemspec::faultinject
+
+#endif // PMEMSPEC_FAULTINJECT_CRASH_EXPLORER_HH

@@ -1,0 +1,166 @@
+#include "fault_injector.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::faultinject
+{
+
+FaultInjector::FaultInjector(runtime::PersistentMemory &pm_,
+                             runtime::VirtualOs &os_,
+                             unsigned spec_entries, Tick window_)
+    : pm(pm_), os(os_), statRoot("faultinject"), window(window_),
+      defaultPersistDelay(window_ / 8 ? window_ / 8 : 1)
+{
+    specBuf = std::make_unique<mem::SpeculationBuffer>(
+        eq, &statRoot, spec_entries, window);
+    // The real trap path of Section 6.1: the hardware's interrupt
+    // line terminates at the OS relay, which resolves the faulting
+    // address through the reverse map and signals the owning
+    // runtime. No shortcut into FaseRuntime exists here.
+    specBuf->setMisspecCallback([this](Addr a, mem::MisspecKind) {
+        ++interrupts;
+        os.raiseMisspecInterrupt(a);
+    });
+}
+
+FaultInjector::~FaultInjector()
+{
+    detach();
+}
+
+void
+FaultInjector::attach()
+{
+    pm.setObserver([this](runtime::MemOp op, Addr a, std::uint32_t n) {
+        onAccess(op, a, n);
+    });
+    attached = true;
+}
+
+void
+FaultInjector::detach()
+{
+    if (attached) {
+        pm.setObserver(nullptr);
+        attached = false;
+    }
+}
+
+void
+FaultInjector::addPlan(std::unique_ptr<FaultPlan> plan)
+{
+    plans.push_back(std::move(plan));
+}
+
+void
+FaultInjector::clearPlans()
+{
+    plans.clear();
+}
+
+void
+FaultInjector::onAccess(runtime::MemOp op, Addr a, std::uint32_t n)
+{
+    if (firing)
+        return; // accesses made while injecting do not re-trigger
+    const AccessInfo info{accessIndex++, op, a, n};
+    for (auto &plan : plans) {
+        if (auto action = plan->onAccess(info))
+            fire(*action);
+    }
+}
+
+void
+FaultInjector::fire(const FaultAction &action)
+{
+    firing = true;
+    struct Unguard
+    {
+        bool &flag;
+        ~Unguard() { flag = false; }
+    } unguard{firing};
+
+    switch (action.kind) {
+      case FaultKind::LoadStale:
+        injectLoadStale(action.addr, action.delay);
+        break;
+      case FaultKind::StoreWaw:
+        injectStoreWaw(action.addr);
+        break;
+      case FaultKind::PersistDelay:
+        injectDelayedPersist(action.addr, action.delay);
+        break;
+      case FaultKind::PowerCut:
+        injectPowerCut(action.prefix); // throws PowerFailure
+    }
+}
+
+void
+FaultInjector::injectLoadStale(Addr addr, Tick persist_delay)
+{
+    const Addr block = blockAlign(addr);
+    const Tick delay =
+        persist_delay ? persist_delay : defaultPersistDelay;
+    panic_if(delay >= window, "persist delay %llu must fit inside "
+                              "the speculation window %llu",
+             static_cast<unsigned long long>(delay),
+             static_cast<unsigned long long>(window));
+    ++loadStales;
+    // The genuine automaton walk: the dirty block's LLC writeback is
+    // dropped at the PMC (monitoring starts), the load is served
+    // stale from PM (Evict -> Speculated), and the superseding store
+    // is still crossing the persist path...
+    specBuf->writeBack(block);
+    specBuf->read(block);
+    eq.scheduleIn(delay, [this, block] { specBuf->persist(block); });
+    // ...until it arrives inside the window and the automaton flags
+    // the misspeculation, raising the interrupt synchronously.
+    eq.runUntil(eq.now() + delay);
+}
+
+void
+FaultInjector::injectStoreWaw(Addr addr)
+{
+    const Addr block = blockAlign(addr);
+    ++storeWaws;
+    // Reordered persist-path arrivals: the program-order-later store
+    // (higher spec ID) lands first, then the earlier one -- the
+    // pattern the PMC's spec-ID order check condemns.
+    persistArrives(block, SpecId{8});
+    persistArrives(block, SpecId{3});
+}
+
+void
+FaultInjector::injectDelayedPersist(Addr addr, Tick delay)
+{
+    const Addr block = blockAlign(addr);
+    ++persistDelays;
+    specBuf->writeBack(block);
+    eq.scheduleIn(delay, [this, block] { specBuf->persist(block); });
+    eq.runUntil(eq.now() + delay);
+}
+
+void
+FaultInjector::injectPowerCut(std::size_t prefix)
+{
+    ++powerCuts;
+    const std::size_t durable =
+        prefix < pm.inFlightCount() ? prefix : pm.inFlightCount();
+    pm.crash(durable);
+    throw PowerFailure{durable};
+}
+
+void
+FaultInjector::persistArrives(Addr block, SpecId id)
+{
+    auto it = specTrack.find(block);
+    if (it != specTrack.end() && eq.now() - it->second.at <= window &&
+        id < it->second.id) {
+        specBuf->reportStoreMisspec(block);
+        specTrack.erase(it);
+        return;
+    }
+    specTrack[block] = SpecTrack{id, eq.now()};
+}
+
+} // namespace pmemspec::faultinject

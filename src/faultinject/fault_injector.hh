@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic fault injector: the missing wire between the
+ * PMEM-Spec hardware model and the failure-atomic runtime.
+ *
+ * The injector owns a *real* speculation buffer (the Figure 5/8
+ * automaton from src/mem) on its own event queue and attaches to a
+ * functional PersistentMemory as its access observer. Armed
+ * FaultPlans watch the access stream; when one triggers, the
+ * injector synthesizes the corresponding hardware event:
+ *
+ *  - LoadStale: WriteBack then Read reach the buffer, the racing
+ *    Persist is scheduled over the virtual persist path after a
+ *    configurable delay -- the genuine WriteBack(s)-Read(s)-Persist
+ *    misspeculation pattern;
+ *  - StoreWaw: two persists with inverted speculation IDs arrive at
+ *    the (modelled) PM-controller order check inside the window;
+ *  - PersistDelay: a persist is held back with no racing read -- a
+ *    benign reorder that must not trap;
+ *  - PowerCut: PersistentMemory::crash(prefix) plus a PowerFailure
+ *    throw, unwinding the interrupted FASE like a real outage.
+ *
+ * Misspeculations then travel the *actual* trap path of Section 6.1:
+ * the buffer's callback raises VirtualOs::raiseMisspecInterrupt, the
+ * OS reverse map resolves the owning process, and the registered
+ * FaseRuntime aborts and re-executes under its Lazy or Eager policy.
+ * Nothing in the recovery chain is mocked.
+ */
+
+#ifndef PMEMSPEC_FAULTINJECT_FAULT_INJECTOR_HH
+#define PMEMSPEC_FAULTINJECT_FAULT_INJECTOR_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "faultinject/fault_plan.hh"
+#include "mem/speculation_buffer.hh"
+#include "runtime/persistent_memory.hh"
+#include "runtime/virtual_os.hh"
+#include "sim/event_queue.hh"
+
+namespace pmemspec::faultinject
+{
+
+/** Thrown out of the interrupted FASE when a PowerCut fires. */
+struct PowerFailure
+{
+    std::size_t durablePrefix; ///< persists that made it to PM
+};
+
+/** The injector; see the file comment. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param pm  The functional PM the workload runs against.
+     * @param os  The OS relay the target runtime registered with.
+     * @param spec_entries  Speculation-buffer capacity.
+     * @param window        Speculation window (virtual ticks).
+     */
+    FaultInjector(runtime::PersistentMemory &pm,
+                  runtime::VirtualOs &os, unsigned spec_entries = 16,
+                  Tick window = nsToTicks(1000));
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install the injector as the PM's access observer. */
+    void attach();
+    /** Remove the observer (also done by the destructor). */
+    void detach();
+
+    void addPlan(std::unique_ptr<FaultPlan> plan);
+    void clearPlans();
+
+    // ---- Direct injection primitives (plans route through these,
+    // ---- tests may call them directly). ----
+
+    /** Fire a genuine load-stale misspeculation at `addr`: the
+     *  persist arrives `persist_delay` after the stale read. */
+    void injectLoadStale(Addr addr, Tick persist_delay = 0);
+
+    /** Fire a store-WAW order violation at `addr`. */
+    void injectStoreWaw(Addr addr);
+
+    /** Hold a persist back benignly (no interrupt expected). */
+    void injectDelayedPersist(Addr addr, Tick delay);
+
+    /** Cut power keeping `prefix` in-flight persists; throws
+     *  PowerFailure (never returns). */
+    [[noreturn]] void injectPowerCut(std::size_t prefix);
+
+    /** The hardware model under injection. */
+    mem::SpeculationBuffer &specBuffer() { return *specBuf; }
+    sim::EventQueue &eventQueue() { return eq; }
+
+    std::uint64_t loadStalesInjected() const { return loadStales; }
+    std::uint64_t storeWawsInjected() const { return storeWaws; }
+    std::uint64_t powerCutsInjected() const { return powerCuts; }
+    std::uint64_t persistDelaysInjected() const { return persistDelays; }
+    /** Misspec interrupts the buffer raised into the OS. */
+    std::uint64_t interruptsRaised() const { return interrupts; }
+
+  private:
+    void onAccess(runtime::MemOp op, Addr a, std::uint32_t n);
+    void fire(const FaultAction &action);
+
+    /** Modelled PMC order check (Section 5.2.2): a tagged persist
+     *  with a lower spec ID than one recorded for the block within
+     *  the window is a store misspeculation. */
+    void persistArrives(Addr block, SpecId id);
+
+    runtime::PersistentMemory &pm;
+    runtime::VirtualOs &os;
+    sim::EventQueue eq;
+    StatGroup statRoot;
+    std::unique_ptr<mem::SpeculationBuffer> specBuf;
+    Tick window;
+    Tick defaultPersistDelay;
+
+    std::vector<std::unique_ptr<FaultPlan>> plans;
+    std::uint64_t accessIndex = 0;
+    bool firing = false; ///< reentrancy guard while injecting
+    bool attached = false;
+
+    struct SpecTrack
+    {
+        SpecId id;
+        Tick at;
+    };
+    std::map<Addr, SpecTrack> specTrack;
+
+    std::uint64_t loadStales = 0;
+    std::uint64_t storeWaws = 0;
+    std::uint64_t powerCuts = 0;
+    std::uint64_t persistDelays = 0;
+    std::uint64_t interrupts = 0;
+};
+
+} // namespace pmemspec::faultinject
+
+#endif // PMEMSPEC_FAULTINJECT_FAULT_INJECTOR_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Pluggable fault plans for the deterministic fault injector.
+ *
+ * A FaultPlan watches the stream of functional PM accesses and
+ * decides *when* to fire *which* hardware fault. Plans are pure
+ * trigger logic; the mechanics of actually firing the fault (driving
+ * the speculation-buffer automaton, reordering persist arrivals,
+ * cutting power at a persist prefix) live in FaultInjector. This
+ * split keeps injection deterministic and composable: a test arms a
+ * plan, runs its workload, and the fault fires at exactly the chosen
+ * access on every run.
+ */
+
+#ifndef PMEMSPEC_FAULTINJECT_FAULT_PLAN_HH
+#define PMEMSPEC_FAULTINJECT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+#include "runtime/persistent_memory.hh"
+
+namespace pmemspec::faultinject
+{
+
+/** The injectable hardware events. */
+enum class FaultKind
+{
+    /** Drive the Figure 5 automaton through WriteBack-Read-Persist:
+     *  a PM load raced an in-flight persist and fetched stale data
+     *  (Section 5.1). Ends in a misspeculation interrupt. */
+    LoadStale,
+    /** Deliver two persists to one block with inverted speculation
+     *  IDs inside the window: an inter-thread WAW persisted out of
+     *  happens-before order (Section 5.2). Ends in an interrupt. */
+    StoreWaw,
+    /** Power failure: keep a chosen prefix of the in-flight persist
+     *  queue durable, lose the rest, throw PowerFailure. */
+    PowerCut,
+    /** Hold a persist arrival back on the (virtual) persist path
+     *  without any racing read -- a benign reorder that must NOT
+     *  raise an interrupt. */
+    PersistDelay,
+};
+
+/** One functional PM access as seen by the injector's observer. */
+struct AccessInfo
+{
+    std::uint64_t index;  ///< accesses observed since attach()
+    runtime::MemOp op;
+    Addr addr;
+    std::uint32_t bytes;
+};
+
+/** What to fire, produced by a plan's trigger. */
+struct FaultAction
+{
+    FaultKind kind;
+    Addr addr = 0;          ///< faulting address (block-aligned use)
+    std::size_t prefix = 0; ///< PowerCut: durable persist prefix
+    Tick delay = 0;         ///< persist-path arrival delay (0 = default)
+};
+
+/** Trigger logic deciding when a fault fires. */
+class FaultPlan
+{
+  public:
+    virtual ~FaultPlan() = default;
+
+    /** Called on every observed access; return an action to fire it.
+     *  Plans fire at most once unless they re-arm themselves. */
+    virtual std::optional<FaultAction> onAccess(const AccessInfo &info) = 0;
+};
+
+/** Fire `kind` at the Nth observed access (1-based), faulting on the
+ *  address of that access. */
+class NthAccessPlan : public FaultPlan
+{
+  public:
+    NthAccessPlan(FaultKind kind, std::uint64_t nth, Tick delay = 0)
+        : kind(kind), nth(nth), delay(delay)
+    {
+    }
+
+    std::optional<FaultAction>
+    onAccess(const AccessInfo &info) override
+    {
+        if (fired || ++seen != nth)
+            return std::nullopt;
+        fired = true;
+        return FaultAction{kind, info.addr, 0, delay};
+    }
+
+  private:
+    FaultKind kind;
+    std::uint64_t nth;
+    Tick delay;
+    std::uint64_t seen = 0;
+    bool fired = false;
+};
+
+/** Fire `kind` the first time a chosen cache block is touched. */
+class AddrTouchPlan : public FaultPlan
+{
+  public:
+    AddrTouchPlan(FaultKind kind, Addr addr, Tick delay = 0)
+        : kind(kind), block(blockAlign(addr)), delay(delay)
+    {
+    }
+
+    std::optional<FaultAction>
+    onAccess(const AccessInfo &info) override
+    {
+        if (fired || blockAlign(info.addr) != block)
+            return std::nullopt;
+        fired = true;
+        return FaultAction{kind, info.addr, 0, delay};
+    }
+
+  private:
+    FaultKind kind;
+    Addr block;
+    Tick delay;
+    bool fired = false;
+};
+
+/**
+ * Cut power so that exactly `prefix` in-flight persists are durable.
+ *
+ * Counts persist-queue entries (writes) from the moment it is armed;
+ * when entry prefix+1 is queued, the injector crashes keeping the
+ * first `prefix` entries and throws PowerFailure. Arm it while the
+ * queue is empty (e.g. at a FASE boundary) so the count and the
+ * queue agree. If the run queues `prefix` entries or fewer, the plan
+ * never fires and the run completes -- the crash-point explorer uses
+ * exactly this to detect that it has enumerated every prefix.
+ */
+class PowerCutPlan : public FaultPlan
+{
+  public:
+    explicit PowerCutPlan(std::size_t prefix) : prefix(prefix) {}
+
+    std::optional<FaultAction>
+    onAccess(const AccessInfo &info) override
+    {
+        if (fired || info.op != runtime::MemOp::Write)
+            return std::nullopt;
+        if (++writesSeen != prefix + 1)
+            return std::nullopt;
+        fired = true;
+        return FaultAction{FaultKind::PowerCut, info.addr, prefix, 0};
+    }
+
+  private:
+    std::size_t prefix;
+    std::size_t writesSeen = 0;
+    bool fired = false;
+};
+
+} // namespace pmemspec::faultinject
+
+#endif // PMEMSPEC_FAULTINJECT_FAULT_PLAN_HH

@@ -1,0 +1,365 @@
+#include "pmds_workloads.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "pmds/kv_store.hh"
+#include "pmds/pm_array.hh"
+#include "pmds/pm_hashmap.hh"
+#include "pmds/pm_queue.hh"
+#include "pmds/pm_rbtree.hh"
+
+namespace pmemspec::faultinject
+{
+
+namespace
+{
+
+using runtime::Transaction;
+
+/** Array Swaps: 32 x 64B elements, a fixed schedule of swaps. The
+ *  shadow model is a plain vector permuted the same way. */
+class ArrayWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "pm_array"; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        (void)rt;
+        arr = std::make_unique<pmds::PmArray>(pm, elems, 64);
+        model.assign(elems, 0);
+        for (std::size_t i = 0; i < elems; ++i) {
+            arr->init(i, i * 3 + 1);
+            model[i] = i * 3 + 1;
+        }
+        pm.persistAll();
+    }
+
+    std::size_t numOps() const override { return swaps.size(); }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        arr->swap(tx, swaps[op].first, swaps[op].second);
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        std::swap(model[swaps[op].first], model[swaps[op].second]);
+    }
+
+    bool
+    matchesModel() const override
+    {
+        for (std::size_t i = 0; i < elems; ++i) {
+            if (arr->get(i) != model[i])
+                return false;
+        }
+        return true;
+    }
+
+    bool checkInvariants() const override { return arr->checkInvariants(); }
+
+  private:
+    static constexpr std::size_t elems = 32;
+    const std::vector<std::pair<std::size_t, std::size_t>> swaps{
+        {0, 31}, {5, 7}, {5, 9}, {0, 1}, {16, 24}, {31, 16}};
+
+    std::unique_ptr<pmds::PmArray> arr;
+    std::vector<std::uint64_t> model;
+};
+
+/** Concurrent Queue structure: enqueues and dequeues against a
+ *  std::deque shadow. */
+class QueueWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "pm_queue"; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        q = std::make_unique<pmds::PmQueue>(pm, 64);
+        model.clear();
+        for (std::uint64_t v : {101, 102, 103}) {
+            rt.runFase(0, [&](Transaction &tx) { q->enqueue(tx, v); });
+            model.push_back(v);
+        }
+    }
+
+    std::size_t numOps() const override { return 6; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        switch (op) {
+          case 0: q->enqueue(tx, 201); break;
+          case 1: (void)q->dequeue(tx); break;
+          case 2: q->enqueue(tx, 202); break;
+          case 3: (void)q->dequeue(tx); break;
+          case 4: (void)q->dequeue(tx); break;
+          default: q->enqueue(tx, 203); break;
+        }
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        switch (op) {
+          case 0: model.push_back(201); break;
+          case 1: model.pop_front(); break;
+          case 2: model.push_back(202); break;
+          case 3: model.pop_front(); break;
+          case 4: model.pop_front(); break;
+          default: model.push_back(203); break;
+        }
+    }
+
+    bool
+    matchesModel() const override
+    {
+        const auto live = q->contents();
+        return std::equal(live.begin(), live.end(), model.begin(),
+                          model.end());
+    }
+
+    bool checkInvariants() const override { return q->checkInvariants(); }
+
+  private:
+    std::unique_ptr<pmds::PmQueue> q;
+    std::deque<std::uint64_t> model;
+};
+
+/** Chained hashmap: puts (insert + update) and erases (present and
+ *  absent) against a std::map shadow. */
+class HashmapWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "pm_hashmap"; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        map = std::make_unique<pmds::PmHashmap>(pm, 16);
+        model.clear();
+        for (std::uint64_t k = 1; k <= 8; ++k) {
+            rt.runFase(0, [&](Transaction &tx) {
+                map->put(tx, k, k * 10);
+            });
+            model[k] = k * 10;
+        }
+    }
+
+    std::size_t numOps() const override { return 6; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        switch (op) {
+          case 0: map->put(tx, 100, 1000); break;    // insert
+          case 1: map->put(tx, 3, 333); break;       // update
+          case 2: (void)map->erase(tx, 5); break;    // erase head-chain
+          case 3: (void)map->erase(tx, 77); break;   // erase absent
+          case 4: map->put(tx, 21, 210); break;      // chain collision
+          default: (void)map->erase(tx, 100); break;
+        }
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        switch (op) {
+          case 0: model[100] = 1000; break;
+          case 1: model[3] = 333; break;
+          case 2: model.erase(5); break;
+          case 3: model.erase(77); break;
+          case 4: model[21] = 210; break;
+          default: model.erase(100); break;
+        }
+    }
+
+    bool
+    matchesModel() const override
+    {
+        if (map->size() != model.size())
+            return false;
+        for (const auto &[k, v] : model) {
+            if (map->lookup(k) != std::optional<std::uint64_t>{v})
+                return false;
+        }
+        return true;
+    }
+
+    bool checkInvariants() const override { return map->checkInvariants(); }
+
+  private:
+    std::unique_ptr<pmds::PmHashmap> map;
+    std::map<std::uint64_t, std::uint64_t> model;
+};
+
+/** Red-black tree: inserts and erases that exercise the rotation and
+ *  fixup paths (many blocks logged per FASE). */
+class RbTreeWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "pm_rbtree"; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        tree = std::make_unique<pmds::PmRbTree>(pm);
+        model.clear();
+        for (std::uint64_t k : {50, 20, 80, 10, 90, 60, 30}) {
+            rt.runFase(0, [&](Transaction &tx) {
+                tree->insert(tx, k, k + 1);
+            });
+            model[k] = k + 1;
+        }
+    }
+
+    std::size_t numOps() const override { return 6; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        switch (op) {
+          case 0: tree->insert(tx, 40, 41); break;
+          case 1: tree->insert(tx, 70, 71); break;
+          case 2: (void)tree->erase(tx, 20); break;  // two children
+          case 3: tree->insert(tx, 25, 26); break;
+          case 4: (void)tree->erase(tx, 90); break;
+          default: tree->insert(tx, 55, 56); break;
+        }
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        switch (op) {
+          case 0: model[40] = 41; break;
+          case 1: model[70] = 71; break;
+          case 2: model.erase(20); break;
+          case 3: model[25] = 26; break;
+          case 4: model.erase(90); break;
+          default: model[55] = 56; break;
+        }
+    }
+
+    bool
+    matchesModel() const override
+    {
+        if (tree->size() != model.size())
+            return false;
+        for (const auto &[k, v] : model) {
+            if (tree->lookup(k) != std::optional<std::uint64_t>{v})
+                return false;
+        }
+        return true;
+    }
+
+    bool checkInvariants() const override { return tree->checkInvariants(); }
+
+  private:
+    std::unique_ptr<pmds::PmRbTree> tree;
+    std::map<std::uint64_t, std::uint64_t> model;
+};
+
+/** Memcached-like KV store with LRU tracking on: SET/GET/DELETE. A
+ *  GET is persistence-intensive too (LRU bump + hit counter), so it
+ *  gets its own crash points. The shadow tracks key -> fill byte. */
+class KvWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "kv_store"; }
+
+    std::size_t pmBytes() const override { return std::size_t{1} << 21; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        pmds::KvConfig cfg;
+        cfg.buckets = 16;
+        cfg.valueBytes = 128;
+        cfg.lruTracking = true;
+        kv = std::make_unique<pmds::KvStore>(pm, cfg);
+        model.clear();
+        for (std::uint64_t k = 1; k <= 4; ++k) {
+            rt.runFase(0, [&](Transaction &tx) {
+                kv->set(tx, k, static_cast<std::uint8_t>(k));
+            });
+            model[k] = static_cast<std::uint8_t>(k);
+        }
+    }
+
+    std::size_t numOps() const override { return 6; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        switch (op) {
+          case 0: kv->set(tx, 10, 0xAA); break;       // insert
+          case 1: kv->set(tx, 2, 0xBB); break;        // overwrite
+          case 2: (void)kv->get(tx, 1); break;        // LRU bump
+          case 3: (void)kv->erase(tx, 3); break;
+          case 4: (void)kv->get(tx, 10); break;
+          default: (void)kv->erase(tx, 10); break;
+        }
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        switch (op) {
+          case 0: model[10] = 0xAA; break;
+          case 1: model[2] = 0xBB; break;
+          case 2: break; // GET leaves the mapping unchanged
+          case 3: model.erase(3); break;
+          case 4: break;
+          default: model.erase(10); break;
+        }
+    }
+
+    bool
+    matchesModel() const override
+    {
+        if (kv->size() != model.size())
+            return false;
+        for (const auto &[k, fill] : model) {
+            if (kv->lookup(k) != std::optional<std::uint8_t>{fill})
+                return false;
+        }
+        return true;
+    }
+
+    bool checkInvariants() const override { return kv->checkInvariants(); }
+
+  private:
+    std::unique_ptr<pmds::KvStore> kv;
+    std::map<std::uint64_t, std::uint8_t> model;
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<CrashWorkload>>
+makeStandardWorkloads()
+{
+    std::vector<std::unique_ptr<CrashWorkload>> out;
+    out.push_back(std::make_unique<ArrayWorkload>());
+    out.push_back(std::make_unique<QueueWorkload>());
+    out.push_back(std::make_unique<HashmapWorkload>());
+    out.push_back(std::make_unique<RbTreeWorkload>());
+    out.push_back(std::make_unique<KvWorkload>());
+    return out;
+}
+
+} // namespace pmemspec::faultinject

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * CrashWorkload adapters over the five persistent data structures
+ * (pm_array, pm_queue, pm_hashmap, pm_rbtree, kv_store), each paired
+ * with a volatile shadow model. Together with exploreCrashPoints()
+ * they give the repo an exhaustive crash-consistency check for every
+ * structure the microbenchmarks exercise.
+ */
+
+#ifndef PMEMSPEC_FAULTINJECT_PMDS_WORKLOADS_HH
+#define PMEMSPEC_FAULTINJECT_PMDS_WORKLOADS_HH
+
+#include <memory>
+#include <vector>
+
+#include "faultinject/crash_explorer.hh"
+
+namespace pmemspec::faultinject
+{
+
+/** One adapter per persistent data structure, ready to explore. */
+std::vector<std::unique_ptr<CrashWorkload>> makeStandardWorkloads();
+
+} // namespace pmemspec::faultinject
+
+#endif // PMEMSPEC_FAULTINJECT_PMDS_WORKLOADS_HH

@@ -39,8 +39,19 @@ class PersistPath : public sim::SimObject
     using DeliverFn =
         std::function<bool(CoreId, Addr, std::optional<SpecId>)>;
 
+    /**
+     * Fault-injection hook: extra in-flight latency for a given block
+     * address, on top of the configured path latency. Lets a test or
+     * chaos harness hold back (and thereby reorder relative to the
+     * regular read path) chosen persist arrivals deterministically.
+     */
+    using DelayHook = std::function<Tick(Addr)>;
+
     PersistPath(sim::EventQueue &eq, StatGroup *parent, CoreId core,
                 Tick latency, unsigned capacity, DeliverFn deliver);
+
+    /** Install/replace the injection hook (nullptr to disable). */
+    void setDelayHook(DelayHook hook) { delayHook = std::move(hook); }
 
     /** @return true if the FIFO cannot accept another entry. */
     bool full() const { return fifo.size() >= fifoCapacity; }
@@ -86,6 +97,7 @@ class PersistPath : public sim::SimObject
     Tick pathLatency;
     unsigned fifoCapacity;
     DeliverFn deliver;
+    DelayHook delayHook;
     std::deque<Flit> fifo;
     Tick lastArrival = 0;
     bool pumpScheduled = false;

@@ -12,11 +12,13 @@ PmArray::PmArray(runtime::PersistentMemory &pm_, std::size_t n,
                  std::size_t elem_bytes)
     : pm(pm_),
       base(pm_.alloc(n * elem_bytes, 64)),
+      expectedSumSlot(pm_.alloc(8, 8)),
       count(n),
       elemSize(elem_bytes)
 {
     fatal_if(n == 0, "empty PmArray");
     fatal_if(elem_bytes < 8, "PmArray elements must hold a u64");
+    pm.writeU64(expectedSumSlot, 0);
 }
 
 Addr
@@ -29,7 +31,12 @@ PmArray::elemAddr(std::size_t i) const
 void
 PmArray::init(std::size_t i, std::uint64_t v)
 {
+    // Maintain the expected-sum record: init overwrites the previous
+    // (zero or earlier) value of the slot's checksum word.
+    const std::uint64_t old = pm.readU64(elemAddr(i));
     pm.writeU64(elemAddr(i), v);
+    pm.writeU64(expectedSumSlot,
+                pm.readU64(expectedSumSlot) - old + v);
 }
 
 void
@@ -56,6 +63,12 @@ PmArray::checksum() const
     for (std::size_t i = 0; i < count; ++i)
         sum += get(i);
     return sum;
+}
+
+bool
+PmArray::checkInvariants() const
+{
+    return checksum() == pm.readU64(expectedSumSlot);
 }
 
 std::uint64_t

@@ -49,9 +49,18 @@ class PmArray
     /** Checksum over the *persisted* image (crash-consistency). */
     std::uint64_t persistedChecksum() const;
 
+    /**
+     * Self-check entry point for crash/fault harnesses: the current
+     * checksum must equal the expected sum recorded (in PM) during
+     * init() -- swaps only permute elements, so any divergence means
+     * a torn or half-applied swap survived recovery.
+     */
+    bool checkInvariants() const;
+
   private:
     runtime::PersistentMemory &pm;
     Addr base;
+    Addr expectedSumSlot; ///< PM cell: sum of all init() values
     std::size_t count;
     std::size_t elemSize;
 };

@@ -79,6 +79,15 @@ PmQueue::front() const
     return pm.readU64(valueAddr(head));
 }
 
+std::vector<std::uint64_t>
+PmQueue::contents() const
+{
+    std::vector<std::uint64_t> out;
+    for (Addr p = pm.readU64(headAddr); p != 0; p = nextOf(p))
+        out.push_back(pm.readU64(valueAddr(p)));
+    return out;
+}
+
 bool
 PmQueue::checkInvariants() const
 {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "runtime/fase_runtime.hh"
 #include "runtime/persistent_memory.hh"
@@ -44,6 +45,9 @@ class PmQueue
 
     /** Front value without removal; nullopt when empty. */
     std::optional<std::uint64_t> front() const;
+
+    /** Every value head-to-tail (checker / crash-oracle access). */
+    std::vector<std::uint64_t> contents() const;
 
     /** Validate head/tail/next-pointer consistency. */
     bool checkInvariants() const;

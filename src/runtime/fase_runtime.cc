@@ -131,11 +131,35 @@ FaseRuntime::abortFase(unsigned tid)
 }
 
 void
+FaseRuntime::setAbortBudget(std::uint64_t budget)
+{
+    fatal_if(budget == 0, "abort budget must be >= 1");
+    abortBudget_ = budget;
+}
+
+void
 FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
 {
     fatal_if(tid >= threads.size(), "bad thread id %u", tid);
     ThreadState &ts = threads[tid];
     panic_if(ts.inFase, "nested FASE on thread %u", tid);
+
+    // Abort, then either retry (the common case) or -- once this
+    // invocation's budget is gone -- fail with diagnostics instead
+    // of livelocking on a FASE that re-races forever.
+    std::uint64_t invocation_aborts = 0;
+    auto abortOrGiveUp = [&] {
+        abortFase(tid);
+        if (++invocation_aborts >= abortBudget_) {
+            const Addr fault = os.mailbox();
+            warn("FASE on thread %u aborted %llu times without "
+                 "committing (last fault addr %#llx); giving up",
+                 tid,
+                 static_cast<unsigned long long>(invocation_aborts),
+                 static_cast<unsigned long long>(fault));
+            throw AbortBudgetExhausted{tid, fault, invocation_aborts};
+        }
+    };
 
     for (;;) {
         // A thread clears its own flag when it begins a new FASE.
@@ -145,14 +169,14 @@ FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
         try {
             fn(tx);
         } catch (const AbortException &) {
-            abortFase(tid);
+            abortOrGiveUp();
             continue;
         } catch (...) {
             // Lazy recovery: exceptions caused by stale data are
             // suppressed if the flag is set (Section 6.2.1);
             // otherwise they are real bugs and propagate.
             if (ts.misspecFlag) {
-                abortFase(tid);
+                abortOrGiveUp();
                 continue;
             }
             ts.inFase = false;
@@ -160,7 +184,7 @@ FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
         }
         // Commit point: the lazy scheme checks the flag here.
         if (ts.misspecFlag) {
-            abortFase(tid);
+            abortOrGiveUp();
             continue;
         }
         ts.log.commit();

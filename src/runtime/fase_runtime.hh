@@ -41,6 +41,20 @@ struct AbortException
     Addr faultAddr;
 };
 
+/**
+ * Thrown by FaseRuntime::runFase when one FASE invocation exhausts
+ * its abort budget: the section was rolled back and re-executed
+ * `aborts` times without ever committing, so instead of livelocking
+ * the runtime gives up with diagnostics. The partial work of the
+ * final attempt has already been undone when this is thrown.
+ */
+struct AbortBudgetExhausted
+{
+    unsigned tid;      ///< thread whose FASE never committed
+    Addr faultAddr;    ///< last faulting address from the OS mailbox
+    std::uint64_t aborts; ///< aborts consumed by this invocation
+};
+
 /** Undo-logged transactional access used inside a FASE body.
  *
  * Logging is block-granular with per-transaction deduplication (as in
@@ -114,10 +128,20 @@ class FaseRuntime
 
     /**
      * Execute one failure-atomic section on behalf of thread `tid`,
-     * retrying on abort until it commits. At commit the writes are
-     * made durable (the spec-barrier of Section 4.2).
+     * retrying on abort until it commits or the abort budget runs
+     * out (AbortBudgetExhausted). At commit the writes are made
+     * durable (the spec-barrier of Section 4.2).
      */
     void runFase(unsigned tid, const FaseFn &fn);
+
+    /**
+     * Cap the aborts a single runFase invocation may consume before
+     * it gives up with AbortBudgetExhausted (default 4096 -- far
+     * above anything a correct program re-races into, low enough to
+     * turn a livelock into a diagnosable failure).
+     */
+    void setAbortBudget(std::uint64_t budget);
+    std::uint64_t abortBudget() const { return abortBudget_; }
 
     /**
      * Crash recovery: roll back every uncommitted FASE from the
@@ -176,6 +200,7 @@ class FaseRuntime
     Pid pid_ = 0;
     std::uint64_t committed = 0;
     std::uint64_t aborted = 0;
+    std::uint64_t abortBudget_ = 4096;
 };
 
 } // namespace pmemspec::runtime

@@ -111,6 +111,24 @@ PersistentMemory::persistAll()
     inFlight.clear();
 }
 
+PersistentMemory::Snapshot
+PersistentMemory::snapshot() const
+{
+    return Snapshot{volatileImg, persistedImg, inFlight, brk};
+}
+
+void
+PersistentMemory::restore(const Snapshot &s)
+{
+    panic_if(s.volatileImg.size() != volatileImg.size(),
+             "snapshot of a %zu-byte space restored into %zu bytes",
+             s.volatileImg.size(), volatileImg.size());
+    volatileImg = s.volatileImg;
+    persistedImg = s.persistedImg;
+    inFlight = s.inFlight;
+    brk = s.brk;
+}
+
 void
 PersistentMemory::crash(std::size_t keep_prefix)
 {

@@ -97,17 +97,35 @@ class PersistentMemory
     /** Register/replace the access observer (nullptr to disable). */
     void setObserver(Observer obs) { observer = std::move(obs); }
 
-    /** Raw image access for invariant checkers. */
-    const std::uint8_t *volatileImage() const { return volatileImg.data(); }
-    const std::uint8_t *persistedImage() const { return persistedImg.data(); }
-
-  private:
+    /** One in-flight (not yet durable) persist. */
     struct Pending
     {
         Addr addr;
         std::vector<std::uint8_t> bytes;
     };
 
+    /**
+     * A full copy of the PM state (both images, the in-flight queue
+     * and the arena cursor). The crash-point explorer snapshots the
+     * state once per operation and rewinds between crash(k) trials;
+     * the observer is not part of the state and survives restore().
+     */
+    struct Snapshot
+    {
+        std::vector<std::uint8_t> volatileImg;
+        std::vector<std::uint8_t> persistedImg;
+        std::deque<Pending> inFlight;
+        std::size_t brk;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
+    /** Raw image access for invariant checkers. */
+    const std::uint8_t *volatileImage() const { return volatileImg.data(); }
+    const std::uint8_t *persistedImage() const { return persistedImg.data(); }
+
+  private:
     void checkRange(Addr a, std::size_t n) const;
 
     std::vector<std::uint8_t> volatileImg;

@@ -26,6 +26,20 @@ VirtualOs::registerRegion(Pid pid, Addr base, std::size_t len)
 {
     fatal_if(handlers.find(pid) == handlers.end(),
              "registerRegion for unknown pid %u", pid);
+    fatal_if(len == 0, "zero-length region for pid %u", pid);
+    fatal_if(base + len < base,
+             "region of pid %u wraps the address space", pid);
+    // The reverse map must stay unambiguous: an interrupt inside two
+    // registered regions would otherwise be delivered to whichever
+    // process registered first, silently starving the other.
+    for (const Region &r : regions) {
+        fatal_if(base < r.base + r.len && r.base < base + len,
+                 "region [%#llx, +%zu) of pid %u overlaps "
+                 "[%#llx, +%zu) of pid %u",
+                 static_cast<unsigned long long>(base), len, pid,
+                 static_cast<unsigned long long>(r.base), r.len,
+                 r.pid);
+    }
     regions.push_back(Region{base, len, pid});
 }
 

@@ -252,3 +252,84 @@ TEST(FaseRuntime, PerThreadLogsAreDisjoint)
     auto [b1, l1] = h.rt.logRegion(1);
     EXPECT_TRUE(b0 + l0 <= b1 || b1 + l1 <= b0);
 }
+
+TEST(FaseRuntime, AbortBudgetTurnsLivelockIntoDiagnosedFailure)
+{
+    Harness h;
+    h.rt.setAbortBudget(5);
+    EXPECT_EQ(h.rt.abortBudget(), 5u);
+    try {
+        h.rt.runFase(0, [&](Transaction &tx) {
+            tx.writeU64(h.data, 9);
+            // A FASE that re-races into misspeculation on every
+            // attempt would previously retry forever.
+            h.os.raiseMisspecInterrupt(h.data);
+        });
+        FAIL() << "expected AbortBudgetExhausted";
+    } catch (const runtime::AbortBudgetExhausted &e) {
+        EXPECT_EQ(e.tid, 0u);
+        EXPECT_EQ(e.aborts, 5u);
+        EXPECT_EQ(e.faultAddr, h.data);
+    }
+    EXPECT_FALSE(h.rt.inFase(0));
+    // The final attempt was rolled back before giving up...
+    EXPECT_EQ(h.pm.readU64(h.data), 1u);
+    // ...and the runtime stays usable.
+    h.rt.runFase(0, [&](Transaction &tx) { tx.writeU64(h.data, 10); });
+    EXPECT_EQ(h.pm.readU64(h.data), 10u);
+}
+
+TEST(FaseRuntime, AbortBudgetIsPerInvocation)
+{
+    Harness h;
+    h.rt.setAbortBudget(2);
+    for (int round = 0; round < 3; ++round) {
+        int runs = 0;
+        // One abort per invocation stays under a budget of two.
+        h.rt.runFase(0, [&](Transaction &tx) {
+            tx.writeU64(h.data, 40 + round);
+            if (++runs == 1)
+                h.os.raiseMisspecInterrupt(h.data);
+        });
+    }
+    EXPECT_EQ(h.rt.fasesCommitted(), 3u);
+    EXPECT_EQ(h.rt.fasesAborted(), 3u);
+}
+
+TEST(FaseRuntime, ZeroAbortBudgetIsFatal)
+{
+    Harness h;
+    EXPECT_DEATH(h.rt.setAbortBudget(0), "budget");
+}
+
+TEST(FaseRuntime, EagerInterruptOnAnotherThreadsBlockAbortsAtNextPoll)
+{
+    // Thread 1 misspeculates while thread 0 is mid-FASE: the OS
+    // broadcast must surface on thread 0 as an AbortException at its
+    // next Transaction::poll(), then re-execute to commit.
+    Harness h(RecoveryPolicy::Eager);
+    int raises = 0;
+    int outer_runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        ++outer_runs;
+        tx.writeU64(h.data, 5);
+        h.rt.runFase(1, [&](Transaction &tx1) {
+            tx1.writeU64(h.data + 64, 6);
+            if (++raises == 1)
+                h.os.raiseMisspecInterrupt(h.data + 64);
+            tx1.writeU64(h.data + 72, 7);
+        });
+        // First pass: thread 0 was flagged by the broadcast above and
+        // aborts right here, at its next runtime entry point.
+        tx.writeU64(h.data + 8, 8);
+    });
+    EXPECT_EQ(outer_runs, 2);
+    // One abort on each thread; thread 1 committed on both outer
+    // passes, thread 0 once.
+    EXPECT_EQ(h.rt.fasesAborted(), 2u);
+    EXPECT_EQ(h.rt.fasesCommitted(), 3u);
+    EXPECT_EQ(h.pm.readU64(h.data), 5u);
+    EXPECT_EQ(h.pm.readU64(h.data + 8), 8u);
+    EXPECT_EQ(h.pm.readU64(h.data + 64), 6u);
+    EXPECT_EQ(h.pm.readU64(h.data + 72), 7u);
+}

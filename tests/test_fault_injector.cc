@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: misspeculation injection
+ * through the real speculation buffer -> VirtualOs -> FaseRuntime
+ * trap chain under both recovery policies, benign persist delays,
+ * power cuts (including a crash *during* recovery), and the
+ * timing-layer persist-path delay hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faultinject/fault_injector.hh"
+#include "faultinject/fault_plan.hh"
+#include "mem/persist_path.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/persistent_memory.hh"
+#include "runtime/virtual_os.hh"
+#include "sim/event_queue.hh"
+
+using namespace pmemspec;
+using faultinject::AddrTouchPlan;
+using faultinject::FaultInjector;
+using faultinject::FaultKind;
+using faultinject::NthAccessPlan;
+using faultinject::PowerCutPlan;
+using faultinject::PowerFailure;
+using runtime::FaseRuntime;
+using runtime::PersistentMemory;
+using runtime::RecoveryPolicy;
+using runtime::Transaction;
+using runtime::VirtualOs;
+
+namespace
+{
+
+struct Harness
+{
+    PersistentMemory pm{1 << 20};
+    VirtualOs os;
+    FaseRuntime rt;
+    FaultInjector inj;
+    Addr data;
+
+    explicit Harness(RecoveryPolicy policy = RecoveryPolicy::Lazy)
+        : rt(pm, os, 1, policy), inj(pm, os), data(pm.alloc(256, 64))
+    {
+        for (Addr a = data; a < data + 256; a += 8)
+            pm.writeU64(a, 1);
+        pm.persistAll();
+        // Attach only after setup so the seed writes are invisible
+        // to armed plans.
+        inj.attach();
+    }
+};
+
+} // namespace
+
+TEST(FaultInjector, LoadStaleTrapsThroughOsAndReexecutesLazily)
+{
+    Harness h;
+    h.inj.addPlan(
+        std::make_unique<AddrTouchPlan>(FaultKind::LoadStale, h.data));
+
+    h.rt.runFase(0, [&](Transaction &tx) {
+        tx.writeU64(h.data, 42);
+    });
+
+    // The buffer detected the stale load, the OS relayed it, the
+    // runtime aborted once and re-executed to commit.
+    EXPECT_EQ(h.inj.loadStalesInjected(), 1u);
+    EXPECT_EQ(h.inj.interruptsRaised(), 1u);
+    EXPECT_EQ(h.os.delivered(), 1u);
+    EXPECT_EQ(h.inj.specBuffer().loadMisspecs.value(), 1u);
+    EXPECT_EQ(h.rt.fasesAborted(), 1u);
+    EXPECT_EQ(h.rt.fasesCommitted(), 1u);
+    EXPECT_EQ(h.pm.readU64(h.data), 42u);
+    EXPECT_EQ(h.pm.inFlightCount(), 0u);
+}
+
+TEST(FaultInjector, LoadStaleUnderEagerAbortsAtNextPoll)
+{
+    Harness h(RecoveryPolicy::Eager);
+    h.inj.addPlan(
+        std::make_unique<AddrTouchPlan>(FaultKind::LoadStale, h.data));
+
+    int runs = 0;
+    bool past_second_write = false;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        ++runs;
+        tx.writeU64(h.data, 7); // fault fires inside this access
+        tx.writeU64(h.data + 8, 8); // first attempt aborts here
+        if (runs == 1)
+            past_second_write = true;
+    });
+
+    EXPECT_EQ(runs, 2);
+    EXPECT_FALSE(past_second_write);
+    EXPECT_EQ(h.rt.fasesAborted(), 1u);
+    EXPECT_EQ(h.rt.fasesCommitted(), 1u);
+    EXPECT_EQ(h.pm.readU64(h.data), 7u);
+    EXPECT_EQ(h.pm.readU64(h.data + 8), 8u);
+}
+
+TEST(FaultInjector, StoreWawTrapsThroughOs)
+{
+    Harness h;
+    h.inj.addPlan(
+        std::make_unique<AddrTouchPlan>(FaultKind::StoreWaw, h.data));
+
+    h.rt.runFase(0, [&](Transaction &tx) {
+        tx.writeU64(h.data, 21);
+    });
+
+    EXPECT_EQ(h.inj.storeWawsInjected(), 1u);
+    EXPECT_EQ(h.inj.interruptsRaised(), 1u);
+    EXPECT_EQ(h.inj.specBuffer().storeMisspecs.value(), 1u);
+    EXPECT_EQ(h.rt.fasesAborted(), 1u);
+    EXPECT_EQ(h.rt.fasesCommitted(), 1u);
+    EXPECT_EQ(h.pm.readU64(h.data), 21u);
+}
+
+TEST(FaultInjector, StoreWawUnderEagerAbortsAtNextPoll)
+{
+    Harness h(RecoveryPolicy::Eager);
+    h.inj.addPlan(
+        std::make_unique<AddrTouchPlan>(FaultKind::StoreWaw, h.data));
+
+    int runs = 0;
+    h.rt.runFase(0, [&](Transaction &tx) {
+        ++runs;
+        tx.writeU64(h.data, 31);
+        tx.writeU64(h.data + 8, 32); // first attempt aborts here
+    });
+
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(h.inj.storeWawsInjected(), 1u);
+    EXPECT_EQ(h.rt.fasesAborted(), 1u);
+    EXPECT_EQ(h.rt.fasesCommitted(), 1u);
+    EXPECT_EQ(h.pm.readU64(h.data), 31u);
+    EXPECT_EQ(h.pm.readU64(h.data + 8), 32u);
+}
+
+TEST(FaultInjector, DelayedPersistAloneIsBenign)
+{
+    Harness h;
+    // A persist held back with no racing PM read must not trap
+    // (Section 5.1: only the WriteBack-Read-Persist pattern does).
+    h.inj.addPlan(std::make_unique<NthAccessPlan>(
+        FaultKind::PersistDelay, 1, nsToTicks(100)));
+
+    h.rt.runFase(0, [&](Transaction &tx) {
+        tx.writeU64(h.data, 13);
+    });
+
+    EXPECT_EQ(h.inj.persistDelaysInjected(), 1u);
+    EXPECT_EQ(h.inj.interruptsRaised(), 0u);
+    EXPECT_EQ(h.os.delivered(), 0u);
+    EXPECT_EQ(h.rt.fasesAborted(), 0u);
+    EXPECT_EQ(h.rt.fasesCommitted(), 1u);
+}
+
+TEST(FaultInjector, PowerCutUnwindsAndRecoveryRestoresPreState)
+{
+    Harness h;
+    h.inj.addPlan(std::make_unique<PowerCutPlan>(3));
+
+    EXPECT_THROW(h.rt.runFase(0,
+                              [&](Transaction &tx) {
+                                  tx.writeU64(h.data, 50);
+                                  tx.writeU64(h.data + 64, 51);
+                                  tx.writeU64(h.data + 128, 52);
+                              }),
+                 PowerFailure);
+    EXPECT_FALSE(h.rt.inFase(0));
+    EXPECT_EQ(h.inj.powerCutsInjected(), 1u);
+
+    h.inj.clearPlans();
+    h.rt.recoverAll();
+    EXPECT_EQ(h.pm.readU64(h.data), 1u);
+    EXPECT_EQ(h.pm.readU64(h.data + 64), 1u);
+    EXPECT_EQ(h.pm.readU64(h.data + 128), 1u);
+}
+
+TEST(FaultInjector, CrashDuringRecoveryIsIdempotent)
+{
+    // A second power failure in the middle of recovery must leave a
+    // state from which recovery still restores the pre-FASE image:
+    // undo replay is idempotent, so any durable prefix of recovery's
+    // own persist stream is a valid starting point.
+    for (std::size_t first_cut = 2; first_cut <= 8; ++first_cut) {
+        for (std::size_t second_cut = 0; second_cut <= 3;
+             ++second_cut) {
+            Harness h;
+            h.inj.addPlan(std::make_unique<PowerCutPlan>(first_cut));
+            EXPECT_THROW(
+                h.rt.runFase(0,
+                             [&](Transaction &tx) {
+                                 tx.writeU64(h.data, 60);
+                                 tx.writeU64(h.data + 64, 61);
+                                 tx.writeU64(h.data + 128, 62);
+                             }),
+                PowerFailure);
+
+            // Crash again part-way through the recovery writes.
+            h.inj.clearPlans();
+            h.inj.addPlan(
+                std::make_unique<PowerCutPlan>(second_cut));
+            try {
+                h.rt.recoverAll();
+            } catch (const PowerFailure &) {
+            }
+            h.inj.clearPlans();
+            h.rt.recoverAll(); // the reboot's recovery pass
+
+            EXPECT_EQ(h.pm.readU64(h.data), 1u)
+                << "cuts " << first_cut << "/" << second_cut;
+            EXPECT_EQ(h.pm.readU64(h.data + 64), 1u);
+            EXPECT_EQ(h.pm.readU64(h.data + 128), 1u);
+            h.pm.persistAll();
+            // And another recovery pass stays a no-op.
+            h.rt.recoverAll();
+            EXPECT_EQ(h.pm.readU64(h.data), 1u);
+        }
+    }
+}
+
+TEST(FaultInjector, PlansFireAtMostOnce)
+{
+    Harness h;
+    h.inj.addPlan(
+        std::make_unique<AddrTouchPlan>(FaultKind::LoadStale, h.data));
+    for (int i = 0; i < 3; ++i) {
+        h.rt.runFase(0, [&](Transaction &tx) {
+            tx.writeU64(h.data, 100 + i);
+        });
+    }
+    EXPECT_EQ(h.inj.loadStalesInjected(), 1u);
+    EXPECT_EQ(h.rt.fasesAborted(), 1u);
+    EXPECT_EQ(h.rt.fasesCommitted(), 3u);
+}
+
+TEST(FaultInjector, DetachStopsInjection)
+{
+    Harness h;
+    h.inj.addPlan(
+        std::make_unique<AddrTouchPlan>(FaultKind::LoadStale, h.data));
+    h.inj.detach();
+    h.rt.runFase(0, [&](Transaction &tx) {
+        tx.writeU64(h.data, 5);
+    });
+    EXPECT_EQ(h.inj.loadStalesInjected(), 0u);
+    EXPECT_EQ(h.rt.fasesAborted(), 0u);
+}
+
+TEST(FaultInjector, PersistPathDelayHookPostponesArrival)
+{
+    // Timing-layer injection point: a hook on the decoupled
+    // persist-path stretches one store's traversal.
+    sim::EventQueue eq;
+    StatGroup stats{"test"};
+    std::vector<std::pair<Addr, Tick>> delivered;
+    mem::PersistPath path(
+        eq, &stats, 0, nsToTicks(20), 8,
+        [&](CoreId, Addr a, std::optional<SpecId>) {
+            delivered.emplace_back(a, eq.now());
+            return true;
+        });
+    path.setDelayHook([](Addr a) {
+        return blockAlign(a) == 0x1000 ? nsToTicks(30) : Tick{0};
+    });
+
+    path.send(0x1000, std::nullopt);
+    eq.run();
+    path.send(0x2000, std::nullopt);
+    eq.run();
+
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0].second, nsToTicks(50)); // 20 + 30 injected
+    EXPECT_GE(delivered[1].second, nsToTicks(20)); // unhooked block
+}

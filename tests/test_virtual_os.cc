@@ -100,3 +100,54 @@ TEST(VirtualOs, RegisterRegionForUnknownPidIsFatal)
     VirtualOs os;
     EXPECT_DEATH(os.registerRegion(99, 0, 10), "unknown pid");
 }
+
+TEST(VirtualOs, ZeroLengthRegionIsFatal)
+{
+    VirtualOs os;
+    Pid p = os.registerProcess([](Addr) {});
+    EXPECT_DEATH(os.registerRegion(p, 0x1000, 0), "zero-length");
+}
+
+TEST(VirtualOs, WrappingRegionIsFatal)
+{
+    VirtualOs os;
+    Pid p = os.registerProcess([](Addr) {});
+    EXPECT_DEATH(os.registerRegion(p, ~Addr{0} - 10, 100), "wraps");
+}
+
+TEST(VirtualOs, OverlappingRegionsAreFatal)
+{
+    VirtualOs os;
+    Pid a = os.registerProcess([](Addr) {});
+    Pid b = os.registerProcess([](Addr) {});
+    os.registerRegion(a, 0x1000, 0x1000);
+    // Partial overlap, containment, and identity must all be caught,
+    // whether from another process or the same one.
+    EXPECT_DEATH(os.registerRegion(b, 0x1800, 0x1000), "overlaps");
+    EXPECT_DEATH(os.registerRegion(b, 0x1100, 0x10), "overlaps");
+    EXPECT_DEATH(os.registerRegion(a, 0x1000, 0x1000), "overlaps");
+    EXPECT_DEATH(os.registerRegion(b, 0x800, 0x801), "overlaps");
+}
+
+TEST(VirtualOs, AdjacentRegionsAreAllowed)
+{
+    VirtualOs os;
+    Pid a = os.registerProcess([](Addr) {});
+    Pid b = os.registerProcess([](Addr) {});
+    os.registerRegion(a, 0x1000, 0x1000);
+    os.registerRegion(b, 0x2000, 0x1000); // half-open: no overlap
+    os.registerRegion(b, 0x0800, 0x0800);
+    EXPECT_EQ(os.raiseMisspecInterrupt(0x1fff), a);
+    EXPECT_EQ(os.raiseMisspecInterrupt(0x2000), b);
+}
+
+TEST(VirtualOs, UnregisterFreesTheRegionForReuse)
+{
+    VirtualOs os;
+    Pid a = os.registerProcess([](Addr) {});
+    os.registerRegion(a, 0x1000, 0x1000);
+    os.unregisterProcess(a);
+    Pid b = os.registerProcess([](Addr) {});
+    os.registerRegion(b, 0x1000, 0x1000); // no stale overlap
+    EXPECT_EQ(os.raiseMisspecInterrupt(0x1000), b);
+}
