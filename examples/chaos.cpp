@@ -8,19 +8,34 @@
  *      durable persist prefix of every operation, replays recovery
  *      and checks all-or-nothing visibility, structure invariants
  *      and volatile/persisted image convergence;
- *   2. Injected misspeculations -- load-stale and store-WAW faults
+ *   2. Torn-write exploration -- the same crash points re-run with
+ *      torn frontier persists (word subsets of the interrupted
+ *      store made durable); the oracle is *no silent corruption*:
+ *      recovery restores the pre-operation state or refuses with an
+ *      explicit UnrecoverableCorruption report;
+ *   3. Injected misspeculations -- load-stale and store-WAW faults
  *      are fired through the real speculation-buffer automaton and
  *      delivered over the genuine OS trap path, under both the Lazy
- *      and the Eager recovery policy.
+ *      and the Eager recovery policy;
+ *   4. Media-fault fail-safe demos -- bit rot in a counted undo-log
+ *      entry must escalate, poisoned log words must be quarantined;
+ *   5. A seeded randomised media-fault fuzz: random crash prefixes,
+ *      torn masks, bit flips and poison against a logged update,
+ *      checking all-or-nothing-or-explicit-refusal every round.
  *
- * Exits non-zero if any oracle fails, so it can serve as a CI gate:
+ * Exits non-zero if any oracle fails, so it can serve as a CI gate.
+ * The fuzz seed is printed on every failure so any run reproduces:
  *
- *   $ ./chaos
+ *   $ ./chaos [--seed N] [--ops N]
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
+#include "common/rng.hh"
 #include "faultinject/crash_explorer.hh"
 #include "faultinject/fault_injector.hh"
 #include "faultinject/fault_plan.hh"
@@ -32,6 +47,18 @@ using namespace pmemspec;
 
 namespace
 {
+
+std::uint64_t activeSeed = 2026;
+
+/** Announce the reproduction recipe; call on every oracle failure. */
+void
+printRepro(const char *stage)
+{
+    std::printf("        REPRO: stage '%s' failed under "
+                "--seed %llu (rerun: ./chaos --seed %llu)\n",
+                stage, static_cast<unsigned long long>(activeSeed),
+                static_cast<unsigned long long>(activeSeed));
+}
 
 /** One injected misspeculation end-to-end under a given policy.
  *  @return true if the runtime recovered and committed. */
@@ -65,15 +92,214 @@ demoMisspec(runtime::RecoveryPolicy policy, faultinject::FaultKind kind,
     return ok;
 }
 
+/** Bit rot inside a counted log entry: recovery must refuse with an
+ *  explicit report, never replay the rotten pre-image. */
+bool
+demoBitRotEscalates()
+{
+    runtime::PersistentMemory pm(1 << 20);
+    runtime::VirtualOs os;
+    runtime::FaseRuntime rt(pm, os, 1, runtime::RecoveryPolicy::Lazy,
+                            1 << 14);
+    faultinject::FaultInjector inj(pm, os);
+    const Addr cell = pm.alloc(8, 64);
+    pm.writeU64(cell, 1);
+    pm.persistAll();
+    inj.attach();
+
+    inj.addPlan(std::make_unique<faultinject::PowerCutPlan>(6));
+    bool crashed = false;
+    try {
+        rt.runFase(0, [&](runtime::Transaction &tx) {
+            tx.writeU64(cell, 2);
+        });
+    } catch (const faultinject::PowerFailure &) {
+        crashed = true;
+    }
+    inj.clearPlans();
+    // The entry is counted; rot one payload byte beneath its CRC.
+    inj.injectBitFlip(rt.logRegion(0).first + 16 + 32, 0x4);
+
+    bool refused = false;
+    try {
+        rt.recoverAll();
+    } catch (const runtime::UnrecoverableCorruption &e) {
+        refused = e.report.entriesDiscardedCorrupt >= 1 &&
+                  !e.report.consistent;
+    }
+    const bool ok = crashed && refused;
+    std::printf("[media ] bit rot in a counted log entry: "
+                "recovery %s\n",
+                ok ? "refused with an explicit corruption report"
+                   : "DID NOT refuse (silent corruption!)");
+    return ok;
+}
+
+/** Poisoned words inside the log region: recovery quarantines
+ *  (scrubs) them and still restores the pre-FASE state. */
+bool
+demoPoisonQuarantine()
+{
+    runtime::PersistentMemory pm(1 << 20);
+    runtime::VirtualOs os;
+    runtime::FaseRuntime rt(pm, os, 1, runtime::RecoveryPolicy::Lazy,
+                            1 << 14);
+    faultinject::FaultInjector inj(pm, os);
+    const Addr cell = pm.alloc(8, 64);
+    pm.writeU64(cell, 1);
+    pm.persistAll();
+    inj.attach();
+
+    // Poison scratch space past the (empty) log frontier, then run a
+    // FASE to completion and recover: the scrub must heal the words.
+    inj.injectPoison(rt.logRegion(0).first + 4096);
+    rt.runFase(0, [&](runtime::Transaction &tx) {
+        tx.writeU64(cell, 2);
+    });
+    const auto rep = rt.recoverAll();
+    const bool ok = rep.consistent &&
+                    rep.poisonedWordsQuarantined == 1 &&
+                    pm.poisonedWordCount() == 0 &&
+                    pm.readU64(cell) == 2;
+    std::printf("[media ] poisoned log word: %s\n",
+                ok ? "quarantined (scrubbed) during recovery"
+                   : "NOT quarantined");
+    return ok;
+}
+
+/**
+ * Seeded randomised media-fault fuzz. Each round runs one logged
+ * 4-word update and throws a random subset of the extended failure
+ * model at it: a power cut at a random prefix, optionally torn,
+ * optionally followed by bit rot or poison in the log region. The
+ * oracle is the fail-safe contract: recovery ends in all-old,
+ * all-new, or an explicit UnrecoverableCorruption -- anything else
+ * is silent corruption.
+ */
+bool
+fuzzMediaFaults(std::uint64_t seed, std::size_t rounds)
+{
+    Rng rng(seed);
+    std::size_t cuts = 0, torn = 0, rotted = 0, poisons = 0,
+                refusals = 0;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        runtime::PersistentMemory pm(1 << 20);
+        runtime::VirtualOs os;
+        runtime::FaseRuntime rt(pm, os, 1,
+                                runtime::RecoveryPolicy::Lazy, 1 << 14);
+        faultinject::FaultInjector inj(pm, os);
+        const Addr data = pm.alloc(32, 64);
+        for (unsigned i = 0; i < 4; ++i)
+            pm.writeU64(data + 8 * i, 100 + i);
+        pm.persistAll();
+        inj.attach();
+
+        // A FASE touching one block: payload + header + 2 tombstones
+        // + count + 4 data words + commit = at most ~12 persists.
+        const std::size_t k = rng.below(14);
+        const bool tear = rng.chance(0.5);
+        if (tear) {
+            inj.addPlan(std::make_unique<faultinject::TornWritePlan>(
+                k, rng.next() | 1));
+            ++torn;
+        } else {
+            inj.addPlan(
+                std::make_unique<faultinject::PowerCutPlan>(k));
+        }
+        bool crashed = false;
+        try {
+            rt.runFase(0, [&](runtime::Transaction &tx) {
+                for (unsigned i = 0; i < 4; ++i)
+                    tx.writeU64(data + 8 * i, 200 + i);
+            });
+        } catch (const faultinject::PowerFailure &) {
+            crashed = true;
+            ++cuts;
+        }
+        inj.clearPlans();
+
+        const auto [log_base, log_bytes] = rt.logRegion(0);
+        if (crashed && rng.chance(0.3)) {
+            inj.injectBitFlip(log_base + 8 * rng.below(log_bytes / 8),
+                              rng.next());
+            ++rotted;
+        }
+        if (crashed && rng.chance(0.3)) {
+            inj.injectPoison(log_base + 8 * rng.below(log_bytes / 8));
+            ++poisons;
+        }
+
+        bool refused = false;
+        try {
+            rt.recoverAll();
+        } catch (const runtime::UnrecoverableCorruption &) {
+            refused = true;
+            ++refusals;
+        }
+        if (refused)
+            continue; // explicit report: the fail-safe contract held
+
+        pm.persistAll();
+        const std::uint64_t first = pm.readU64(data);
+        bool ok = first == 100 || first == 200;
+        for (unsigned i = 0; ok && i < 4; ++i)
+            ok = pm.readU64(data + 8 * i) == first + i;
+        if (!ok) {
+            std::printf("[fuzz  ] round %zu: SILENT CORRUPTION "
+                        "(data[0..3] = %llu %llu %llu %llu)\n",
+                        round,
+                        static_cast<unsigned long long>(pm.readU64(data)),
+                        static_cast<unsigned long long>(
+                            pm.readU64(data + 8)),
+                        static_cast<unsigned long long>(
+                            pm.readU64(data + 16)),
+                        static_cast<unsigned long long>(
+                            pm.readU64(data + 24)));
+            printRepro("fuzz");
+            return false;
+        }
+    }
+    std::printf("[fuzz  ] %zu rounds (seed %llu): %zu cuts, %zu torn, "
+                "%zu bit flips, %zu poisons, %zu explicit refusals, "
+                "0 silent corruptions\n",
+                rounds, static_cast<unsigned long long>(seed), cuts,
+                torn, rotted, poisons, refusals);
+    return true;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::size_t fuzz_rounds = 200;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            const std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) != 0)
+                return nullptr;
+            if (arg.size() > n && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            if (arg.size() == n && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (const char *v = value("--seed")) {
+            activeSeed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = value("--ops")) {
+            fuzz_rounds = std::strtoull(v, nullptr, 0);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--seed N] [--ops N]\n", argv[0]);
+            return 2;
+        }
+    }
+
     bool all_ok = true;
 
     // ------------------------------------------------------------
-    // 1. Exhaustive crash-point exploration.
+    // 1. Exhaustive crash-point exploration (clean prefixes).
     // ------------------------------------------------------------
     std::printf("== crash-point exploration ==\n");
     for (const auto &wl : faultinject::makeStandardWorkloads()) {
@@ -84,11 +310,32 @@ main()
                     res.failures);
         for (const auto &m : res.messages)
             std::printf("        FAIL: %s\n", m.c_str());
+        if (!res.passed())
+            printRepro("crash-point exploration");
         all_ok = all_ok && res.passed();
     }
 
     // ------------------------------------------------------------
-    // 2. Injected misspeculations through the real trap path.
+    // 2. Torn-write exploration (corrupted frontiers).
+    // ------------------------------------------------------------
+    std::printf("== torn-write exploration ==\n");
+    faultinject::ExploreOptions torn_opts;
+    torn_opts.tornWrites = true;
+    for (const auto &wl : faultinject::makeStandardWorkloads()) {
+        const auto res = faultinject::exploreCrashPoints(*wl, torn_opts);
+        std::printf("[torn ] %-10s: %zu torn trials, %zu explicit "
+                    "corruption report(s), %zu failure(s)\n",
+                    res.workload.c_str(), res.tornTrials,
+                    res.corruptionReported, res.failures);
+        for (const auto &m : res.messages)
+            std::printf("        FAIL: %s\n", m.c_str());
+        if (!res.passed())
+            printRepro("torn-write exploration");
+        all_ok = all_ok && res.passed();
+    }
+
+    // ------------------------------------------------------------
+    // 3. Injected misspeculations through the real trap path.
     // ------------------------------------------------------------
     std::printf("== injected misspeculation ==\n");
     using faultinject::FaultKind;
@@ -98,7 +345,28 @@ main()
         all_ok &= demoMisspec(policy, FaultKind::StoreWaw, "store-WAW");
     }
 
+    // ------------------------------------------------------------
+    // 4. Media-fault fail-safe demos.
+    // ------------------------------------------------------------
+    std::printf("== media faults ==\n");
+    if (!demoBitRotEscalates()) {
+        printRepro("bit-rot escalation");
+        all_ok = false;
+    }
+    if (!demoPoisonQuarantine()) {
+        printRepro("poison quarantine");
+        all_ok = false;
+    }
+
+    // ------------------------------------------------------------
+    // 5. Seeded randomised media-fault fuzz.
+    // ------------------------------------------------------------
+    std::printf("== media-fault fuzz ==\n");
+    all_ok &= fuzzMediaFaults(activeSeed, fuzz_rounds);
+
     std::printf("chaos harness: %s\n", all_ok ? "all oracles held"
                                               : "ORACLE FAILURES");
+    if (!all_ok)
+        printRepro("summary");
     return all_ok ? 0 : 1;
 }

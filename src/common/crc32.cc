@@ -1,0 +1,40 @@
+#include "crc32.hh"
+
+#include <array>
+
+namespace pmemspec
+{
+
+namespace
+{
+
+/** Build the byte-at-a-time lookup table for the reflected
+ *  Castagnoli polynomial 0x1EDC6F41 (reflected: 0x82F63B78). */
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<std::uint32_t, 256> table = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t n, std::uint32_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = ~seed;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return ~c;
+}
+
+} // namespace pmemspec

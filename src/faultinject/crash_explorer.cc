@@ -1,5 +1,7 @@
 #include "crash_explorer.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 
@@ -20,10 +22,52 @@ namespace
  *  and is reported as a failure instead of spinning forever. */
 constexpr std::size_t maxPrefixesPerOp = std::size_t{1} << 14;
 
+std::string
+hexMask(std::uint64_t m)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(m));
+    return buf;
+}
+
+/**
+ * The torn word subsets to try for a frontier `words` words wide.
+ * Subsets "none" and "all" are the clean prefixes k and k+1 -- the
+ * plain enumeration already covers them -- so only proper nonempty
+ * subsets are interesting. Up to 4 words that is exhaustive (<= 14
+ * masks); wider frontiers get a deterministic bounded pattern set:
+ * each single word, each all-but-one, and the two checkerboards.
+ */
+std::vector<std::uint64_t>
+tornMasks(std::size_t words, unsigned cap)
+{
+    std::vector<std::uint64_t> masks;
+    const std::size_t w = std::min<std::size_t>(words, 64);
+    if (w < 2)
+        return masks;
+    const std::uint64_t full =
+        w == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+    if (w <= 4) {
+        for (std::uint64_t m = 1; m < full; ++m)
+            masks.push_back(m);
+        return masks;
+    }
+    for (std::size_t i = 0; i < w && masks.size() < cap; ++i)
+        masks.push_back(std::uint64_t{1} << i);
+    for (std::size_t i = 0; i < w && masks.size() < cap; ++i)
+        masks.push_back(full & ~(std::uint64_t{1} << i));
+    if (masks.size() < cap)
+        masks.push_back(full & 0x5555555555555555ULL);
+    if (masks.size() < cap)
+        masks.push_back(full & 0xAAAAAAAAAAAAAAAAULL);
+    return masks;
+}
+
 } // namespace
 
 ExploreResult
-exploreCrashPoints(CrashWorkload &wl)
+exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
 {
     ExploreResult res;
     res.workload = wl.name();
@@ -60,6 +104,28 @@ exploreCrashPoints(CrashWorkload &wl)
         pm.persistAll();
         const auto pre = pm.snapshot();
 
+        // Reference committed image: the commit record is not the
+        // FASE's last persist (tombstones trail it), so a crash can
+        // land *past* the durable commit point. Recovery then keeps
+        // the new state -- the "all" of all-or-nothing -- and the
+        // oracle must recognise it. Run the op once uninterrupted to
+        // learn what that state looks like, then rewind.
+        inj.clearPlans();
+        rt.runFase(0,
+                   [&](runtime::Transaction &tx) { wl.runOp(tx, op); });
+        pm.persistAll();
+        const std::vector<std::uint8_t> post_image(
+            pm.persistedImage(), pm.persistedImage() + pm.size());
+        pm.restore(pre);
+        rt.recoverAll();
+        pm.persistAll();
+
+        auto committedDurably = [&] {
+            pm.persistAll();
+            return std::memcmp(pm.persistedImage(), post_image.data(),
+                               pm.size()) == 0;
+        };
+
         bool committed = false;
         for (std::size_t k = 0; !committed; ++k) {
             if (k >= maxPrefixesPerOp) {
@@ -78,13 +144,15 @@ exploreCrashPoints(CrashWorkload &wl)
             inj.addPlan(std::make_unique<PowerCutPlan>(k));
 
             bool crashed = false;
+            std::size_t frontier_words = 0;
             try {
                 rt.runFase(0, [&](runtime::Transaction &tx) {
                     wl.runOp(tx, op);
                 });
                 committed = true;
-            } catch (const PowerFailure &) {
+            } catch (const PowerFailure &pf) {
                 crashed = true;
+                frontier_words = pf.frontierWords;
             }
             // Disarm before recovery: the plan must not count (or
             // crash on) recovery's own persist stream.
@@ -92,15 +160,90 @@ exploreCrashPoints(CrashWorkload &wl)
 
             if (crashed) {
                 ++res.crashPoints;
-                rt.recoverAll();
+                try {
+                    rt.recoverAll();
+                } catch (const runtime::UnrecoverableCorruption &) {
+                    // A clean prefix contains no corruption by
+                    // construction; refusing to recover it is a
+                    // fail-safe false positive.
+                    ++res.corruptionReported;
+                    fail(op, k, "clean-prefix crash reported "
+                                "unrecoverable corruption");
+                    continue;
+                }
                 if (!wl.checkInvariants())
                     fail(op, k, "invariants violated after recovery");
-                if (!wl.matchesModel())
-                    fail(op, k, "recovered state is not the "
-                                "pre-operation state (atomicity)");
+                if (!wl.matchesModel() && !committedDurably())
+                    fail(op, k, "recovered state is neither the pre- "
+                                "nor the post-operation state "
+                                "(atomicity)");
                 if (!converged())
                     fail(op, k, "volatile/persisted images diverge "
                                 "after recovery");
+
+                if (!opts.tornWrites || frontier_words < 2)
+                    continue;
+
+                // Torn-frontier trials: same crash point k, but a
+                // word subset of persist k+1 lands too. The oracle
+                // is no-silent-corruption: either recovery restores
+                // the pre-operation state, or it refuses with an
+                // explicit report. Under this repo's checksummed
+                // undo log every torn frontier is detected and
+                // discarded, so recovery is expected to succeed.
+                for (std::uint64_t mask :
+                     tornMasks(frontier_words, opts.maxTornSubsets)) {
+                    pm.restore(pre);
+                    rt.recoverAll();
+                    pm.persistAll();
+                    inj.clearPlans();
+                    inj.addPlan(
+                        std::make_unique<TornWritePlan>(k, mask));
+
+                    bool cut = false;
+                    try {
+                        rt.runFase(0, [&](runtime::Transaction &tx) {
+                            wl.runOp(tx, op);
+                        });
+                    } catch (const PowerFailure &) {
+                        cut = true;
+                    }
+                    inj.clearPlans();
+                    if (!cut) {
+                        fail(op, k,
+                             ("torn plan (mask=" + hexMask(mask) +
+                              ") did not fire on a re-run that "
+                              "crashed before")
+                                 .c_str());
+                        continue;
+                    }
+                    ++res.tornTrials;
+
+                    try {
+                        rt.recoverAll();
+                    } catch (const runtime::UnrecoverableCorruption &) {
+                        // Explicit refusal: the no-silent-corruption
+                        // oracle is satisfied; nothing was replayed.
+                        ++res.corruptionReported;
+                        continue;
+                    }
+                    const std::string ctx =
+                        " (torn mask=" + hexMask(mask) + ")";
+                    if (!wl.checkInvariants())
+                        fail(op, k,
+                             ("invariants violated after torn-write "
+                              "recovery" + ctx).c_str());
+                    if (!wl.matchesModel() && !committedDurably())
+                        fail(op, k,
+                             ("silent corruption: torn-write recovery "
+                              "returned success but the state is "
+                              "neither the pre- nor the post-operation "
+                              "state" + ctx).c_str());
+                    if (!converged())
+                        fail(op, k,
+                             ("volatile/persisted images diverge after "
+                              "torn-write recovery" + ctx).c_str());
+                }
             }
         }
 

@@ -85,14 +85,41 @@ struct ExploreResult
     std::string workload;
     std::size_t ops = 0;         ///< operations explored
     std::size_t crashPoints = 0; ///< crash/recover trials executed
+    std::size_t tornTrials = 0;  ///< torn-frontier crash trials
+    /** Recoveries that refused with UnrecoverableCorruption: an
+     *  *explicit* report, so it satisfies the no-silent-corruption
+     *  oracle for torn trials (and is a failure for clean-prefix
+     *  trials, which can never legitimately corrupt). */
+    std::size_t corruptionReported = 0;
     std::size_t failures = 0;    ///< oracle violations
     std::vector<std::string> messages; ///< one per violation
 
     bool passed() const { return failures == 0; }
 };
 
+/** Knobs for the exploration. */
+struct ExploreOptions
+{
+    /**
+     * Torn-write mode: for every crash point whose frontier persist
+     * spans more than one 8-byte word, additionally re-run the
+     * operation with a TornWritePlan for a set of word subsets of
+     * that frontier made durable. The oracle weakens from
+     * "recovered state == pre-operation state" to *no silent
+     * corruption*: recovery must either reproduce the pre-operation
+     * state or refuse with an explicit UnrecoverableCorruption
+     * report -- it must never hand back garbage as if it were fine.
+     */
+    bool tornWrites = false;
+    /** Torn subsets per crash point: exhaustive (every proper
+     *  nonempty subset) when the frontier is at most 4 words wide,
+     *  else a bounded pattern set capped at this many masks. */
+    unsigned maxTornSubsets = 12;
+};
+
 /** Run the exhaustive crash-prefix enumeration over one workload. */
-ExploreResult exploreCrashPoints(CrashWorkload &wl);
+ExploreResult exploreCrashPoints(CrashWorkload &wl,
+                                 const ExploreOptions &opts = {});
 
 } // namespace pmemspec::faultinject
 

@@ -90,6 +90,14 @@ FaultInjector::fire(const FaultAction &action)
       case FaultKind::PersistDelay:
         injectDelayedPersist(action.addr, action.delay);
         break;
+      case FaultKind::BitFlip:
+        injectBitFlip(action.addr, action.mask);
+        break;
+      case FaultKind::Poison:
+        injectPoison(action.addr);
+        break;
+      case FaultKind::TornWrite:
+        injectTornWrite(action.prefix, action.mask); // throws
       case FaultKind::PowerCut:
         injectPowerCut(action.prefix); // throws PowerFailure
     }
@@ -146,8 +154,38 @@ FaultInjector::injectPowerCut(std::size_t prefix)
     ++powerCuts;
     const std::size_t durable =
         prefix < pm.inFlightCount() ? prefix : pm.inFlightCount();
+    const std::size_t frontier = durable < pm.inFlightCount()
+                                     ? pm.pendingEntryWords(durable)
+                                     : 0;
     pm.crash(durable);
-    throw PowerFailure{durable};
+    throw PowerFailure{durable, false, frontier};
+}
+
+void
+FaultInjector::injectTornWrite(std::size_t prefix, std::uint64_t mask)
+{
+    ++tornWrites;
+    const std::size_t durable =
+        prefix < pm.inFlightCount() ? prefix : pm.inFlightCount();
+    const std::size_t frontier = durable < pm.inFlightCount()
+                                     ? pm.pendingEntryWords(durable)
+                                     : 0;
+    pm.crashTorn(durable, mask);
+    throw PowerFailure{durable, true, frontier};
+}
+
+void
+FaultInjector::injectBitFlip(Addr addr, std::uint64_t xor_mask)
+{
+    ++bitFlips;
+    pm.corruptWord(addr, xor_mask ? xor_mask : 1);
+}
+
+void
+FaultInjector::injectPoison(Addr addr)
+{
+    ++poisons;
+    pm.poisonWord(addr);
 }
 
 void

@@ -45,10 +45,18 @@
 namespace pmemspec::faultinject
 {
 
-/** Thrown out of the interrupted FASE when a PowerCut fires. */
+/** Thrown out of the interrupted FASE when a PowerCut (or TornWrite)
+ *  fires. */
 struct PowerFailure
 {
     std::size_t durablePrefix; ///< persists that made it to PM
+    /** True when the frontier persist landed partially (TornWrite). */
+    bool torn = false;
+    /** 8-byte words the frontier persist (entry durablePrefix of the
+     *  queue, the first one lost) overlapped at crash time; 0 when
+     *  the cut consumed the whole queue. The torn-write explorer
+     *  learns the enumerable mask width from this. */
+    std::size_t frontierWords = 0;
 };
 
 /** The injector; see the file comment. */
@@ -94,6 +102,21 @@ class FaultInjector
      *  PowerFailure (never returns). */
     [[noreturn]] void injectPowerCut(std::size_t prefix);
 
+    /** Cut power keeping `prefix` in-flight persists plus the word
+     *  subset `mask` of persist prefix+1 (torn frontier); throws
+     *  PowerFailure with torn = true (never returns). */
+    [[noreturn]] void injectTornWrite(std::size_t prefix,
+                                      std::uint64_t mask);
+
+    /** Silently corrupt the durable word at `addr` by XORing
+     *  `xor_mask` into it (0 flips bit 0). Nothing traps here --
+     *  detection is the checksum layer's job. */
+    void injectBitFlip(Addr addr, std::uint64_t xor_mask = 1);
+
+    /** Mark the 8-byte word at `addr` uncorrectable; subsequent
+     *  reads overlapping it raise runtime::MediaError. */
+    void injectPoison(Addr addr);
+
     /** The hardware model under injection. */
     mem::SpeculationBuffer &specBuffer() { return *specBuf; }
     sim::EventQueue &eventQueue() { return eq; }
@@ -102,6 +125,9 @@ class FaultInjector
     std::uint64_t storeWawsInjected() const { return storeWaws; }
     std::uint64_t powerCutsInjected() const { return powerCuts; }
     std::uint64_t persistDelaysInjected() const { return persistDelays; }
+    std::uint64_t tornWritesInjected() const { return tornWrites; }
+    std::uint64_t bitFlipsInjected() const { return bitFlips; }
+    std::uint64_t poisonsInjected() const { return poisons; }
     /** Misspec interrupts the buffer raised into the OS. */
     std::uint64_t interruptsRaised() const { return interrupts; }
 
@@ -138,6 +164,9 @@ class FaultInjector
     std::uint64_t storeWaws = 0;
     std::uint64_t powerCuts = 0;
     std::uint64_t persistDelays = 0;
+    std::uint64_t tornWrites = 0;
+    std::uint64_t bitFlips = 0;
+    std::uint64_t poisons = 0;
     std::uint64_t interrupts = 0;
 };
 

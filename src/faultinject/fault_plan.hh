@@ -42,6 +42,17 @@ enum class FaultKind
      *  without any racing read -- a benign reorder that must NOT
      *  raise an interrupt. */
     PersistDelay,
+    /** Power failure at a persist prefix whose frontier entry is
+     *  *torn*: an arbitrary word subset of persist prefix+1 is also
+     *  durable (8-byte atomicity holds, block atomicity does not).
+     *  Throws PowerFailure like PowerCut. */
+    TornWrite,
+    /** Flip bits in one durable 8-byte word beneath the persist
+     *  queue -- silent bit rot that only checksums can catch. */
+    BitFlip,
+    /** Mark one 8-byte word uncorrectable: subsequent reads raise
+     *  runtime::MediaError until the word is fully overwritten. */
+    Poison,
 };
 
 /** One functional PM access as seen by the injector's observer. */
@@ -58,8 +69,12 @@ struct FaultAction
 {
     FaultKind kind;
     Addr addr = 0;          ///< faulting address (block-aligned use)
-    std::size_t prefix = 0; ///< PowerCut: durable persist prefix
+    std::size_t prefix = 0; ///< PowerCut/TornWrite: durable prefix
     Tick delay = 0;         ///< persist-path arrival delay (0 = default)
+    /** TornWrite: word subset of the frontier entry made durable
+     *  (bit i = i-th overlapped 8-byte word). BitFlip: XOR mask
+     *  applied to the word (0 means flip bit 0). */
+    std::uint64_t mask = 0;
 };
 
 /** Trigger logic deciding when a fault fires. */
@@ -78,8 +93,9 @@ class FaultPlan
 class NthAccessPlan : public FaultPlan
 {
   public:
-    NthAccessPlan(FaultKind kind, std::uint64_t nth, Tick delay = 0)
-        : kind(kind), nth(nth), delay(delay)
+    NthAccessPlan(FaultKind kind, std::uint64_t nth, Tick delay = 0,
+                  std::uint64_t mask = 0)
+        : kind(kind), nth(nth), delay(delay), mask(mask)
     {
     }
 
@@ -89,13 +105,14 @@ class NthAccessPlan : public FaultPlan
         if (fired || ++seen != nth)
             return std::nullopt;
         fired = true;
-        return FaultAction{kind, info.addr, 0, delay};
+        return FaultAction{kind, info.addr, 0, delay, mask};
     }
 
   private:
     FaultKind kind;
     std::uint64_t nth;
     Tick delay;
+    std::uint64_t mask;
     std::uint64_t seen = 0;
     bool fired = false;
 };
@@ -104,8 +121,9 @@ class NthAccessPlan : public FaultPlan
 class AddrTouchPlan : public FaultPlan
 {
   public:
-    AddrTouchPlan(FaultKind kind, Addr addr, Tick delay = 0)
-        : kind(kind), block(blockAlign(addr)), delay(delay)
+    AddrTouchPlan(FaultKind kind, Addr addr, Tick delay = 0,
+                  std::uint64_t mask = 0)
+        : kind(kind), block(blockAlign(addr)), delay(delay), mask(mask)
     {
     }
 
@@ -115,13 +133,14 @@ class AddrTouchPlan : public FaultPlan
         if (fired || blockAlign(info.addr) != block)
             return std::nullopt;
         fired = true;
-        return FaultAction{kind, info.addr, 0, delay};
+        return FaultAction{kind, info.addr, 0, delay, mask};
     }
 
   private:
     FaultKind kind;
     Addr block;
     Tick delay;
+    std::uint64_t mask;
     bool fired = false;
 };
 
@@ -154,6 +173,42 @@ class PowerCutPlan : public FaultPlan
 
   private:
     std::size_t prefix;
+    std::size_t writesSeen = 0;
+    bool fired = false;
+};
+
+/**
+ * Cut power at durable prefix `prefix` with a *torn* frontier: the
+ * word subset `mask` of persist prefix+1 is durable too. Trigger
+ * logic matches PowerCutPlan (fires when write prefix+1 is queued,
+ * arm on an empty persist queue); the crash itself goes through
+ * PersistentMemory::crashTorn, so 8-byte atomicity is preserved but
+ * multi-word entries land partially. The torn-write explorer mode
+ * enumerates masks over the frontier of every crash point.
+ */
+class TornWritePlan : public FaultPlan
+{
+  public:
+    TornWritePlan(std::size_t prefix, std::uint64_t mask)
+        : prefix(prefix), mask(mask)
+    {
+    }
+
+    std::optional<FaultAction>
+    onAccess(const AccessInfo &info) override
+    {
+        if (fired || info.op != runtime::MemOp::Write)
+            return std::nullopt;
+        if (++writesSeen != prefix + 1)
+            return std::nullopt;
+        fired = true;
+        return FaultAction{FaultKind::TornWrite, info.addr, prefix, 0,
+                           mask};
+    }
+
+  private:
+    std::size_t prefix;
+    std::uint64_t mask;
     std::size_t writesSeen = 0;
     bool fired = false;
 };

@@ -24,6 +24,9 @@ MemorySystem::MemorySystem(sim::EventQueue &eq, StatGroup *parent,
     stats().addCounter("crossPmcReorderHazards", &crossPmcReorderHazards,
                        "per-core persists arriving across controllers "
                        "out of store order (Section 7 oracle)");
+    stats().addCounter("poisonedFills", &poisonedFills,
+                       "PM fills that delivered poison to the core "
+                       "after the PMC retry budget ran out");
 
     for (CoreId c = 0; c < cfg.numCores; ++c) {
         l1s.push_back(std::make_unique<SetAssocCache>(
@@ -178,7 +181,9 @@ MemorySystem::fillFromPm(CoreId c, Addr block, bool for_store,
     }
     llcMshrs[block].push_back(std::move(on_done));
     (void)for_store;
-    pmcFor(block).read(block, [this, c, block] {
+    pmcFor(block).readChecked(block, [this, c, block](ReadStatus st) {
+        if (st == ReadStatus::Poisoned)
+            ++poisonedFills;
         fillL1(c, block, false);
         auto node = llcMshrs.extract(block);
         panic_if(node.empty(), "LLC MSHR vanished for block");

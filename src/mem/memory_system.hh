@@ -104,6 +104,11 @@ class MemorySystem : public sim::SimObject
      *  controllers out of store order -- a violation the hardware
      *  cannot detect without an ordered NoC. */
     Counter crossPmcReorderHazards;
+    /** PM fills whose device read came back poisoned after the PMC's
+     *  bounded retry: the poison propagated to the requesting core
+     *  (a machine-check in real hardware; the functional layer
+     *  models the consumer-visible MediaError). */
+    Counter poisonedFills;
 
   private:
     void missToLlc(CoreId c, Addr block, bool for_store, Done on_done);

@@ -34,6 +34,12 @@ PmController::PmController(sim::EventQueue &eq, StatGroup *parent,
                        "PM reads delayed on a real buffer conflict");
     stats().addCounter("bloomFalsePositives", &bloomFalsePositives,
                        "PM reads delayed on a bloom false positive");
+    stats().addCounter("poisonRetries", &poisonRetries,
+                       "device re-reads of an uncorrectable block");
+    stats().addCounter("poisonedReads", &poisonedReads,
+                       "reads that propagated poison after retries");
+    stats().addCounter("poisonHeals", &poisonHeals,
+                       "transient media errors cleared by retrying");
     stats().addAccumulator("readLatency", &readLatencyStat,
                            "PM read latency (ns), enqueue to data");
 }
@@ -122,6 +128,57 @@ PmController::read(Addr block_addr, std::function<void()> on_done)
 }
 
 void
+PmController::poisonBlock(Addr block_addr, unsigned transient_reads)
+{
+    poisonedBlocks[blockAlign(block_addr)] = transient_reads;
+}
+
+bool
+PmController::clearPoisonedBlock(Addr block_addr)
+{
+    return poisonedBlocks.erase(blockAlign(block_addr)) != 0;
+}
+
+void
+PmController::readAttempt(Addr block_addr, unsigned retries_left,
+                          std::function<void(ReadStatus)> cb)
+{
+    read(block_addr, [this, block_addr, retries_left,
+                      cb = std::move(cb)]() mutable {
+        auto it = poisonedBlocks.find(blockAlign(block_addr));
+        if (it == poisonedBlocks.end()) {
+            cb(ReadStatus::Ok);
+            return;
+        }
+        if (it->second > 0 && --it->second == 0) {
+            // A transient error: this completed device read was the
+            // one that scrubbed the cell back to health.
+            poisonedBlocks.erase(it);
+            ++poisonHeals;
+            cb(ReadStatus::Ok);
+            return;
+        }
+        if (retries_left > 0) {
+            ++poisonRetries;
+            readAttempt(block_addr, retries_left - 1, std::move(cb));
+            return;
+        }
+        // Retry budget exhausted: the poison propagates to the
+        // requester (machine-check on data delivery), the controller
+        // itself keeps serving every other block.
+        ++poisonedReads;
+        cb(ReadStatus::Poisoned);
+    });
+}
+
+void
+PmController::readChecked(Addr block_addr,
+                          std::function<void(ReadStatus)> on_done)
+{
+    readAttempt(block_addr, cfg.pmcPoisonRetries, std::move(on_done));
+}
+
+void
 PmController::serviceWrite(Addr block_addr)
 {
     // Coalesce into a queued (not yet started) write of this block:
@@ -137,6 +194,9 @@ PmController::serviceWrite(Addr block_addr)
     coalescable[block_addr] = 1;
     ++writeQueue;
     ++writes;
+    // A full-block write remaps an uncorrectable line: fresh data
+    // heals the poison (hard or transient alike).
+    poisonedBlocks.erase(blockAlign(block_addr));
     // Writes drain in the background at the device's aggregate write
     // bandwidth; reads have priority and never queue behind them
     // (standard PMC scheduling -- ADR makes write *latency* invisible

@@ -38,6 +38,16 @@
 namespace pmemspec::mem
 {
 
+/** Outcome of a checked PM read (media-fault aware read path). */
+enum class ReadStatus
+{
+    Ok,
+    /** The block is uncorrectable and the bounded retry budget is
+     *  exhausted: the poison propagates to the requester (the
+     *  device-level analogue of runtime::MediaError). */
+    Poisoned,
+};
+
 /** The PM controller at the bottom of the memory system. */
 class PmController : public sim::SimObject
 {
@@ -51,6 +61,35 @@ class PmController : public sim::SimObject
      * @param on_done invoked when the data returns from the device.
      */
     void read(Addr block_addr, std::function<void()> on_done);
+
+    /**
+     * Media-fault-aware read: like read(), but if the block is
+     * poisoned the PMC retries the device read up to
+     * cfg.pmcPoisonRetries times (each paying full device latency --
+     * a transient error may clear) and then delivers
+     * ReadStatus::Poisoned instead of data. Graceful degradation:
+     * one bad block fails one request, never the controller.
+     */
+    void readChecked(Addr block_addr,
+                     std::function<void(ReadStatus)> on_done);
+
+    /**
+     * Mark a block uncorrectable. With transient_reads == 0 the
+     * poison is hard (only clearPoison removes it); with N > 0 the
+     * error clears after N completed device reads (a marginal cell
+     * that the retry sequence scrubs back to health).
+     */
+    void poisonBlock(Addr block_addr, unsigned transient_reads = 0);
+
+    /** Remove poison (host scrub / page retirement + remap).
+     *  @return true if the block was poisoned. */
+    bool clearPoisonedBlock(Addr block_addr);
+
+    /** Is the block currently poisoned? */
+    bool isBlockPoisoned(Addr block_addr) const
+    {
+        return poisonedBlocks.count(blockAlign(block_addr)) != 0;
+    }
 
     /**
      * Regular-path writeback (dirty LLC eviction or explicit CLWB
@@ -90,11 +129,18 @@ class PmController : public sim::SimObject
     Counter persistsRefused;
     Counter bloomTrueHits;
     Counter bloomFalsePositives;
+    Counter poisonRetries;
+    Counter poisonedReads;
+    Counter poisonHeals;
     Accumulator readLatencyStat;
 
   private:
     /** Issue a device read; completion callback at service end. */
     void serviceRead(Addr block_addr, Tick enq, std::function<void()> cb);
+
+    /** One attempt of the poisoned-read retry loop. */
+    void readAttempt(Addr block_addr, unsigned retries_left,
+                     std::function<void(ReadStatus)> cb);
 
     /** Push one write into the banked device. */
     void serviceWrite(Addr block_addr);
@@ -112,6 +158,10 @@ class PmController : public sim::SimObject
      *  started yet; later persists to them coalesce (Section 4.2:
      *  the PMC "coalesces and buffers the store data"). */
     std::map<Addr, unsigned> coalescable;
+
+    /** Uncorrectable blocks: value is the countdown of completed
+     *  device reads until a transient error clears (0 = hard). */
+    std::map<Addr, unsigned> poisonedBlocks;
 
     /** HOPS: true contents behind the bloom filter. */
     BloomFilter bloom;

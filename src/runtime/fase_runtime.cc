@@ -1,5 +1,7 @@
 #include "fase_runtime.hh"
 
+#include <string>
+
 #include "common/logging.hh"
 
 namespace pmemspec::runtime
@@ -91,7 +93,7 @@ FaseRuntime::FaseRuntime(PersistentMemory &pm_, VirtualOs &os_,
     threads.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t) {
         Addr region = pm.alloc(log_bytes_per_thread, 64);
-        UndoLog log(pm, region, log_bytes_per_thread);
+        UndoLog log(pm, region, log_bytes_per_thread, t);
         log.reset();
         threads.emplace_back(std::move(log));
     }
@@ -119,15 +121,40 @@ FaseRuntime::onMisspecSignal(Addr fault_addr)
 }
 
 void
+FaseRuntime::accumulate(RecoveryReport &rep, unsigned tid,
+                        const UndoRecoveryResult &r)
+{
+    rep.entriesReplayed += r.replayed;
+    rep.entriesDiscardedTorn += r.discardedTorn;
+    rep.entriesDiscardedCorrupt += r.discardedCorrupt;
+    rep.poisonedWordsQuarantined += r.poisonedQuarantined;
+    if (!r.consistent) {
+        rep.consistent = false;
+        rep.diagnostics.push_back(
+            "thread " + std::to_string(tid) + ": " +
+            (r.detail.empty() ? std::string("log corrupt") : r.detail));
+    }
+}
+
+void
 FaseRuntime::abortFase(unsigned tid)
 {
     ThreadState &ts = threads[tid];
     // Undo both volatile and non-volatile intermediate data: the log
     // restores old values through regular PM writes and then makes
     // the restoration durable.
-    ts.log.recover();
+    const UndoRecoveryResult r = ts.log.recover();
     ts.inFase = false;
     ++aborted;
+    if (!r.consistent) {
+        // The log of a *live* FASE failed verification: injected (or
+        // real) media faults hit it mid-run. Same fail-safe as crash
+        // recovery -- refuse to continue on a state we cannot trust.
+        RecoveryReport rep;
+        accumulate(rep, tid, r);
+        lastReport = rep;
+        throw UnrecoverableCorruption{std::move(rep)};
+    }
 }
 
 void
@@ -197,19 +224,33 @@ FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
     }
 }
 
-void
+RecoveryReport
 FaseRuntime::recoverAll()
 {
+    RecoveryReport rep;
+    unsigned tid = 0;
     for (auto &t : threads) {
         // Run recovery unconditionally: even with zero durable
         // entries (the crash cut before the first count bump), the
         // log's volatile write cursor must be resynchronised with
         // the durable image, or the next FASE would append entries
         // where recovery will not look for them.
-        t.log.recover();
+        accumulate(rep, tid, t.log.recover());
         t.inFase = false;
         t.misspecFlag = false;
+        ++tid;
     }
+    lastReport = rep;
+    if (!rep.consistent) {
+        // Fail-safe verdict: at least one log refused its replay, so
+        // the durable image is not a FASE boundary and must not be
+        // served. The corrupt logs were left un-truncated for
+        // diagnosis.
+        for (const auto &d : rep.diagnostics)
+            warn("unrecoverable corruption: %s", d.c_str());
+        throw UnrecoverableCorruption{rep};
+    }
+    return rep;
 }
 
 } // namespace pmemspec::runtime

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "runtime/persistent_memory.hh"
@@ -39,6 +40,55 @@ class FaseRuntime;
 struct AbortException
 {
     Addr faultAddr;
+};
+
+/**
+ * What a recovery pass did, aggregated over every per-thread undo
+ * log: the structured evidence behind the fail-safe verdict. A
+ * recovery either produces a report with consistent=true (the
+ * durable state was restored to a FASE boundary) or raises
+ * UnrecoverableCorruption carrying the same report with
+ * consistent=false -- it never silently returns garbage.
+ */
+struct RecoveryReport
+{
+    /** Verified undo entries replayed. */
+    std::uint64_t entriesReplayed = 0;
+    /** Torn / never-committed frontier residue detected and safely
+     *  discarded (it was never covered by a commit record). */
+    std::uint64_t entriesDiscardedTorn = 0;
+    /** Counted entries that failed verification (bit rot, poison);
+     *  any non-zero value makes the verdict inconsistent. */
+    std::uint64_t entriesDiscardedCorrupt = 0;
+    /** Poisoned words quarantined (scrubbed) inside log regions. */
+    std::uint64_t poisonedWordsQuarantined = 0;
+    /** The fail-safe verdict. */
+    bool consistent = true;
+    /** One line per defect, for logs and exceptions. */
+    std::vector<std::string> diagnostics;
+
+    bool
+    operator==(const RecoveryReport &o) const
+    {
+        return entriesReplayed == o.entriesReplayed &&
+               entriesDiscardedTorn == o.entriesDiscardedTorn &&
+               entriesDiscardedCorrupt == o.entriesDiscardedCorrupt &&
+               poisonedWordsQuarantined == o.poisonedWordsQuarantined &&
+               consistent == o.consistent &&
+               diagnostics == o.diagnostics;
+    }
+};
+
+/**
+ * Thrown when recovery cannot restore a consistent state: at least
+ * one undo-log entry that a commit record vouches for failed its
+ * verification, so the pre-crash image is partly unknown. The
+ * report's diagnostics name every defect; the corrupted logs are
+ * left un-truncated for post-mortem inspection.
+ */
+struct UnrecoverableCorruption
+{
+    RecoveryReport report;
 };
 
 /**
@@ -146,8 +196,18 @@ class FaseRuntime
     /**
      * Crash recovery: roll back every uncommitted FASE from the
      * per-thread logs (called once after PersistentMemory::crash()).
+     * Verifies every entry it replays and returns the structured
+     * report; raises UnrecoverableCorruption (carrying the report)
+     * if any log is corrupt -- fail-safe, never silent garbage.
      */
-    void recoverAll();
+    RecoveryReport recoverAll();
+
+    /** The report of the most recent recoverAll() pass (also the one
+     *  inside a thrown UnrecoverableCorruption). */
+    const RecoveryReport &lastRecoveryReport() const
+    {
+        return lastReport;
+    }
 
     /** True while thread `tid` is inside a FASE. */
     bool inFase(unsigned tid) const { return threads.at(tid).inFase; }
@@ -192,6 +252,10 @@ class FaseRuntime
      *  data of thread tid's open FASE. */
     void abortFase(unsigned tid);
 
+    /** Fold one log's recovery result into a report. */
+    static void accumulate(RecoveryReport &rep, unsigned tid,
+                           const UndoRecoveryResult &r);
+
     PersistentMemory &pm;
     VirtualOs &os;
     RecoveryPolicy recoveryPolicy;
@@ -201,6 +265,7 @@ class FaseRuntime
     std::uint64_t committed = 0;
     std::uint64_t aborted = 0;
     std::uint64_t abortBudget_ = 4096;
+    RecoveryReport lastReport;
 };
 
 } // namespace pmemspec::runtime

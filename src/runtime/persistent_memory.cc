@@ -5,6 +5,19 @@
 namespace pmemspec::runtime
 {
 
+namespace
+{
+
+constexpr Addr wordBytes = 8;
+
+constexpr Addr
+wordAlign(Addr a)
+{
+    return a & ~(wordBytes - 1);
+}
+
+} // namespace
+
 PersistentMemory::PersistentMemory(std::size_t bytes)
     : volatileImg(bytes, 0), persistedImg(bytes, 0)
 {
@@ -18,6 +31,18 @@ PersistentMemory::checkRange(Addr a, std::size_t n) const
     panic_if(a + n > volatileImg.size(),
              "PM access out of range: [%#llx, +%zu) in %zu-byte space",
              static_cast<unsigned long long>(a), n, volatileImg.size());
+}
+
+void
+PersistentMemory::checkPoison(Addr a, std::size_t n) const
+{
+    if (poisoned.empty() || n == 0)
+        return;
+    // The set is ordered: the first poisoned word at or after the
+    // range's first word decides.
+    auto it = poisoned.lower_bound(wordAlign(a));
+    if (it != poisoned.end() && *it < a + n)
+        throw MediaError{*it};
 }
 
 Addr
@@ -38,6 +63,15 @@ PersistentMemory::write(Addr a, const void *src, std::size_t n)
 {
     checkRange(a, n);
     std::memcpy(volatileImg.data() + a, src, n);
+    // A full 8-byte overwrite of a poisoned word heals it (the
+    // device remaps the line when fresh data arrives); a partial
+    // overwrite leaves the word uncorrectable.
+    if (!poisoned.empty()) {
+        for (Addr w = wordAlign(a); w < a + n; w += wordBytes) {
+            if (w >= a && w + wordBytes <= a + n)
+                poisoned.erase(w);
+        }
+    }
     Pending p;
     p.addr = a;
     p.bytes.assign(static_cast<const std::uint8_t *>(src),
@@ -51,6 +85,7 @@ void
 PersistentMemory::read(Addr a, void *dst, std::size_t n) const
 {
     checkRange(a, n);
+    checkPoison(a, n);
     std::memcpy(dst, volatileImg.data() + a, n);
     if (observer)
         observer(MemOp::Read, a, static_cast<std::uint32_t>(n));
@@ -60,6 +95,7 @@ void
 PersistentMemory::readDep(Addr a, void *dst, std::size_t n) const
 {
     checkRange(a, n);
+    checkPoison(a, n);
     std::memcpy(dst, volatileImg.data() + a, n);
     if (observer)
         observer(MemOp::ReadDep, a, static_cast<std::uint32_t>(n));
@@ -102,19 +138,24 @@ PersistentMemory::writeU32(Addr a, std::uint32_t v)
 }
 
 void
+PersistentMemory::applyPending(const Pending &p)
+{
+    std::memcpy(persistedImg.data() + p.addr, p.bytes.data(),
+                p.bytes.size());
+}
+
+void
 PersistentMemory::persistAll()
 {
-    for (const Pending &p : inFlight) {
-        std::memcpy(persistedImg.data() + p.addr, p.bytes.data(),
-                    p.bytes.size());
-    }
+    for (const Pending &p : inFlight)
+        applyPending(p);
     inFlight.clear();
 }
 
 PersistentMemory::Snapshot
 PersistentMemory::snapshot() const
 {
-    return Snapshot{volatileImg, persistedImg, inFlight, brk};
+    return Snapshot{volatileImg, persistedImg, inFlight, poisoned, brk};
 }
 
 void
@@ -126,6 +167,7 @@ PersistentMemory::restore(const Snapshot &s)
     volatileImg = s.volatileImg;
     persistedImg = s.persistedImg;
     inFlight = s.inFlight;
+    poisoned = s.poisoned;
     brk = s.brk;
 }
 
@@ -136,13 +178,103 @@ PersistentMemory::crash(std::size_t keep_prefix)
     for (const Pending &p : inFlight) {
         if (applied >= keep_prefix)
             break;
-        std::memcpy(persistedImg.data() + p.addr, p.bytes.data(),
-                    p.bytes.size());
+        applyPending(p);
         ++applied;
     }
     inFlight.clear();
     // Reboot: every volatile copy is gone; PM is the truth.
     volatileImg = persistedImg;
+}
+
+std::size_t
+PersistentMemory::pendingEntryWords(std::size_t idx) const
+{
+    if (idx >= inFlight.size())
+        return 0;
+    const Pending &p = inFlight[idx];
+    if (p.bytes.empty())
+        return 0;
+    const Addr first = wordAlign(p.addr);
+    const Addr last = wordAlign(p.addr + p.bytes.size() - 1);
+    return static_cast<std::size_t>((last - first) / wordBytes) + 1;
+}
+
+void
+PersistentMemory::crashTorn(std::size_t keep_prefix,
+                            std::uint64_t frontier_word_mask)
+{
+    std::size_t applied = 0;
+    for (const Pending &p : inFlight) {
+        if (applied >= keep_prefix)
+            break;
+        applyPending(p);
+        ++applied;
+    }
+    if (keep_prefix < inFlight.size()) {
+        // The frontier persist: only the selected machine words reach
+        // the media. Word i is the i-th 8-byte-aligned word the
+        // persist overlaps; the copied span is the intersection of
+        // that word with the persist's byte range (the device never
+        // writes bytes the store did not supply).
+        const Pending &p = inFlight[keep_prefix];
+        const Addr end = p.addr + p.bytes.size();
+        const Addr first = wordAlign(p.addr);
+        for (std::size_t i = 0; i < 64; ++i) {
+            const Addr w = first + i * wordBytes;
+            if (w >= end)
+                break;
+            if (!(frontier_word_mask & (std::uint64_t{1} << i)))
+                continue;
+            const Addr lo = w > p.addr ? w : p.addr;
+            const Addr hi = w + wordBytes < end ? w + wordBytes : end;
+            std::memcpy(persistedImg.data() + lo,
+                        p.bytes.data() + (lo - p.addr), hi - lo);
+        }
+    }
+    inFlight.clear();
+    volatileImg = persistedImg;
+}
+
+void
+PersistentMemory::poisonWord(Addr a)
+{
+    checkRange(a, 1);
+    poisoned.insert(wordAlign(a));
+}
+
+bool
+PersistentMemory::clearPoison(Addr a)
+{
+    return poisoned.erase(wordAlign(a)) != 0;
+}
+
+bool
+PersistentMemory::isPoisoned(Addr a) const
+{
+    return poisoned.count(wordAlign(a)) != 0;
+}
+
+std::vector<Addr>
+PersistentMemory::poisonedWordsIn(Addr a, std::size_t n) const
+{
+    std::vector<Addr> out;
+    for (auto it = poisoned.lower_bound(wordAlign(a));
+         it != poisoned.end() && *it < a + n; ++it)
+        out.push_back(*it);
+    return out;
+}
+
+void
+PersistentMemory::corruptWord(Addr a, std::uint64_t xor_mask)
+{
+    const Addr w = wordAlign(a);
+    checkRange(w, wordBytes);
+    for (unsigned b = 0; b < wordBytes; ++b) {
+        const auto flip =
+            static_cast<std::uint8_t>(xor_mask >> (8 * b));
+        volatileImg[w + b] ^= flip;
+        persistedImg[w + b] ^= flip;
+    }
 }
 
 } // namespace pmemspec::runtime

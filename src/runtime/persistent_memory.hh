@@ -16,6 +16,20 @@
  * k entries -- exactly the failure model the paper's recovery
  * reasoning assumes (a prefix of the persist order is durable).
  *
+ * Beyond the clean-prefix model, the media itself can misbehave
+ * ("clean prefix + corrupted frontier"):
+ *
+ *  - crashTorn(k, mask) keeps the first k persists and then makes an
+ *    arbitrary *subset of the 8-byte words* of persist k+1 durable --
+ *    the device guarantees 8-byte atomicity but nothing wider, so a
+ *    multi-word store caught by the outage can tear;
+ *  - corruptWord() flips bits directly in the durable image beneath
+ *    the persist queue (media bit rot / a misdirected write);
+ *  - poisonWord() marks a word uncorrectable: any read overlapping it
+ *    throws MediaError (the functional analogue of an Optane UE /
+ *    machine-check on load). A full 8-byte overwrite of a poisoned
+ *    word heals it, as a device remaps the line on a fresh write.
+ *
  * An observer hook reports every access so the workload layer can
  * record logical traces while the program runs.
  */
@@ -27,6 +41,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "common/types.hh"
@@ -42,6 +57,16 @@ enum class MemOp : std::uint8_t
      *  chase); the timing core cannot run past it. */
     ReadDep,
     Write,
+};
+
+/**
+ * Thrown by a read that touches an uncorrectable (poisoned) word:
+ * the device returned a media error instead of data. Software must
+ * treat the value as unavailable, never as zero or stale bytes.
+ */
+struct MediaError
+{
+    Addr addr; ///< first poisoned word the access overlapped
 };
 
 /** Byte-addressable persistent memory with crash semantics. */
@@ -63,10 +88,12 @@ class PersistentMemory
     std::size_t size() const { return volatileImg.size(); }
 
     /** Store: updates the volatile image, queues an in-flight
-     *  persist, and notifies the observer. */
+     *  persist, heals any fully-overwritten poisoned word, and
+     *  notifies the observer. */
     void write(Addr a, const void *src, std::size_t n);
 
-    /** Load from the volatile image; notifies the observer. */
+    /** Load from the volatile image; notifies the observer.
+     *  @throws MediaError if the range overlaps a poisoned word. */
     void read(Addr a, void *dst, std::size_t n) const;
 
     /** Load that the caller marks as address-forming (pointer
@@ -94,6 +121,52 @@ class PersistentMemory
      */
     void crash(std::size_t keep_prefix);
 
+    /**
+     * Power failure with a torn frontier: the first keep_prefix
+     * in-flight persists are fully durable, and of persist
+     * keep_prefix+1 (if one exists) only the 8-byte words selected
+     * by `frontier_word_mask` reach the media -- bit i covers the
+     * i-th machine word (8-byte-aligned, in address order) that the
+     * persist overlaps. Words past bit 63 are treated as lost. A
+     * zero mask degenerates to crash(keep_prefix); an all-ones mask
+     * to crash(keep_prefix + 1). 8-byte atomicity is preserved;
+     * block atomicity is not.
+     */
+    void crashTorn(std::size_t keep_prefix,
+                   std::uint64_t frontier_word_mask);
+
+    /** Number of 8-byte machine words in-flight persist `idx` spans
+     *  (the mask width crashTorn() would tear over). */
+    std::size_t pendingEntryWords(std::size_t idx) const;
+
+    // ---- Media faults (uncorrectable errors and bit rot) ----
+
+    /** Mark the 8-byte word containing `a` uncorrectable: reads
+     *  overlapping it throw MediaError until it is healed by a full
+     *  word overwrite or clearPoison(). */
+    void poisonWord(Addr a);
+
+    /** Explicitly heal a poisoned word (device remap / scrubbing).
+     *  @return true if the word was poisoned. */
+    bool clearPoison(Addr a);
+
+    /** Is the word containing `a` poisoned? */
+    bool isPoisoned(Addr a) const;
+
+    /** Poisoned word base addresses overlapping [a, a+n). */
+    std::vector<Addr> poisonedWordsIn(Addr a, std::size_t n) const;
+
+    /** Total poisoned words in the space. */
+    std::size_t poisonedWordCount() const { return poisoned.size(); }
+
+    /**
+     * Flip the bits of `xor_mask` in the 8-byte word containing `a`,
+     * in *both* images, beneath the persist queue: silent media
+     * corruption that no barrier ordered and no observer saw. Only
+     * checksums can catch it.
+     */
+    void corruptWord(Addr a, std::uint64_t xor_mask);
+
     /** Register/replace the access observer (nullptr to disable). */
     void setObserver(Observer obs) { observer = std::move(obs); }
 
@@ -105,16 +178,18 @@ class PersistentMemory
     };
 
     /**
-     * A full copy of the PM state (both images, the in-flight queue
-     * and the arena cursor). The crash-point explorer snapshots the
-     * state once per operation and rewinds between crash(k) trials;
-     * the observer is not part of the state and survives restore().
+     * A full copy of the PM state (both images, the in-flight queue,
+     * the poison set and the arena cursor). The crash-point explorer
+     * snapshots the state once per operation and rewinds between
+     * crash(k) trials; the observer is not part of the state and
+     * survives restore().
      */
     struct Snapshot
     {
         std::vector<std::uint8_t> volatileImg;
         std::vector<std::uint8_t> persistedImg;
         std::deque<Pending> inFlight;
+        std::set<Addr> poisoned;
         std::size_t brk;
     };
 
@@ -127,10 +202,14 @@ class PersistentMemory
 
   private:
     void checkRange(Addr a, std::size_t n) const;
+    void checkPoison(Addr a, std::size_t n) const;
+    void applyPending(const Pending &p);
 
     std::vector<std::uint8_t> volatileImg;
     std::vector<std::uint8_t> persistedImg;
     std::deque<Pending> inFlight;
+    /** Word-aligned base addresses of uncorrectable words. */
+    std::set<Addr> poisoned;
     std::size_t brk = 64; ///< address 0 stays unmapped (null guard)
     Observer observer;
 };

@@ -15,6 +15,7 @@
 
 using namespace pmemspec;
 using faultinject::CrashWorkload;
+using faultinject::ExploreOptions;
 using faultinject::exploreCrashPoints;
 using faultinject::makeStandardWorkloads;
 using runtime::Transaction;
@@ -32,6 +33,32 @@ TEST(CrashExplorer, AllStandardWorkloadsSurviveEveryCrashPoint)
         // exhaustive enumeration must visit many more crash points
         // than operations.
         EXPECT_GT(res.crashPoints, 4 * res.ops) << res.workload;
+    }
+}
+
+// Acceptance oracle of the media-fault work: with torn-write mode on,
+// every structure still recovers *or* explicitly reports corruption
+// at every crash point x torn-frontier-subset combination. Under the
+// checksummed undo log no torn frontier is ever mistaken for valid
+// state, so in practice all torn trials recover cleanly and no
+// corruption verdict fires.
+TEST(CrashExplorer, TornWriteModePassesNoSilentCorruptionOracle)
+{
+    ExploreOptions opts;
+    opts.tornWrites = true;
+    for (const auto &wl : makeStandardWorkloads()) {
+        const auto res = exploreCrashPoints(*wl, opts);
+        EXPECT_TRUE(res.passed())
+            << res.workload << " failed " << res.failures
+            << " oracle check(s); first: "
+            << (res.messages.empty() ? "?" : res.messages.front());
+        // Multi-word persists exist in every workload (the 64-byte
+        // log payloads at minimum), so torn trials must have run.
+        EXPECT_GT(res.tornTrials, res.ops) << res.workload;
+        EXPECT_EQ(res.corruptionReported, 0u)
+            << res.workload
+            << ": a pure torn write is always detectable from the "
+               "tombstoned frontier and must not trip the fail-safe";
     }
 }
 

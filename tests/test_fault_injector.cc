@@ -254,6 +254,98 @@ TEST(FaultInjector, DetachStopsInjection)
     EXPECT_EQ(h.rt.fasesAborted(), 0u);
 }
 
+TEST(FaultInjector, TornWriteCutsPowerWithATornFrontier)
+{
+    Harness h;
+    // The third persist of the FASE below is the 64-byte undo-log
+    // payload... but the plan does not need to know that: it tears
+    // whatever persist sits at the frontier of prefix 0 -- here the
+    // first log payload write (8 words wide). Keep only its first
+    // word durable.
+    h.inj.addPlan(std::make_unique<faultinject::TornWritePlan>(0, 0x1));
+
+    bool torn = false;
+    std::size_t frontier_words = 0;
+    try {
+        h.rt.runFase(0, [&](Transaction &tx) {
+            tx.writeU64(h.data, 70);
+        });
+        FAIL() << "expected PowerFailure";
+    } catch (const PowerFailure &pf) {
+        torn = pf.torn;
+        frontier_words = pf.frontierWords;
+        EXPECT_EQ(pf.durablePrefix, 0u);
+    }
+    EXPECT_TRUE(torn);
+    EXPECT_EQ(frontier_words, 8u) << "64-byte log payload = 8 words";
+    EXPECT_EQ(h.inj.tornWritesInjected(), 1u);
+
+    // The torn residue is frontier garbage the checksummed log must
+    // discard; the data itself never changed.
+    h.inj.clearPlans();
+    const auto rep = h.rt.recoverAll();
+    EXPECT_TRUE(rep.consistent);
+    EXPECT_EQ(h.pm.readU64(h.data), 1u);
+}
+
+TEST(FaultInjector, BitFlipIsSilentUntilRecoveryVerifies)
+{
+    Harness h;
+    // Flip a bit in the undo log's first counted payload word right
+    // after it is written (access 1 = the payload pm.write).
+    const auto [log_base, log_bytes] = h.rt.logRegion(0);
+    (void)log_bytes;
+    h.inj.addPlan(std::make_unique<AddrTouchPlan>(
+        FaultKind::BitFlip, log_base + 16 + 32, 0, 0x1));
+
+    // The FASE runs to commit: bit rot raises no trap, no abort.
+    h.rt.runFase(0, [&](Transaction &tx) {
+        tx.writeU64(h.data, 80);
+    });
+    EXPECT_EQ(h.inj.bitFlipsInjected(), 1u);
+    EXPECT_EQ(h.inj.interruptsRaised(), 0u);
+    EXPECT_EQ(h.rt.fasesAborted(), 0u);
+    EXPECT_EQ(h.pm.readU64(h.data), 80u);
+}
+
+TEST(FaultInjector, BitFlipInCountedEntryEscalatesOnRecovery)
+{
+    Harness h;
+    const auto [log_base, log_bytes] = h.rt.logRegion(0);
+    (void)log_bytes;
+    // Cut power mid-FASE with the entry counted, then rot it: the
+    // reboot's recovery must refuse, not replay garbage.
+    h.inj.addPlan(std::make_unique<PowerCutPlan>(6));
+    EXPECT_THROW(h.rt.runFase(0,
+                              [&](Transaction &tx) {
+                                  tx.writeU64(h.data, 90);
+                              }),
+                 PowerFailure);
+    h.inj.clearPlans();
+    h.inj.injectBitFlip(log_base + 16 + 32, 0x2);
+    EXPECT_EQ(h.inj.bitFlipsInjected(), 1u);
+    EXPECT_THROW(h.rt.recoverAll(), runtime::UnrecoverableCorruption);
+    EXPECT_FALSE(h.rt.lastRecoveryReport().consistent);
+}
+
+TEST(FaultInjector, PoisonPlanMakesReadsThrowMediaError)
+{
+    Harness h;
+    h.inj.addPlan(std::make_unique<AddrTouchPlan>(
+        FaultKind::Poison, h.data + 64));
+
+    // Poison alone is not a trap: the plan fires on the first touch
+    // of the block (after the access applied) and the damage only
+    // surfaces at the next read of the word.
+    h.pm.writeU64(h.data + 64, 3);
+    EXPECT_EQ(h.inj.poisonsInjected(), 1u);
+    EXPECT_EQ(h.inj.interruptsRaised(), 0u);
+    EXPECT_THROW(h.pm.readU64(h.data + 64), runtime::MediaError);
+    // A fresh full-word store remaps (heals) the line.
+    h.pm.writeU64(h.data + 64, 4);
+    EXPECT_EQ(h.pm.readU64(h.data + 64), 4u);
+}
+
 TEST(FaultInjector, PersistPathDelayHookPostponesArrival)
 {
     // Timing-layer injection point: a hook on the decoupled

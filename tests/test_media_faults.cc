@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for the extended failure model: torn frontier persists,
+ * poisoned (uncorrectable) words, silent bit rot, and the undo log's
+ * checksummed defence against all three. The acceptance fixture of
+ * the robustness work lives here too: a deliberately unchecksummed
+ * log must be *detected* as corrupt, never replayed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "runtime/persistent_memory.hh"
+#include "runtime/undo_log.hh"
+
+using namespace pmemspec;
+using runtime::MediaError;
+using runtime::PersistentMemory;
+using runtime::UndoLog;
+
+// ---------------------------------------------------------------
+// PersistentMemory: torn crashes
+// ---------------------------------------------------------------
+
+TEST(TornCrash, FrontierWordSubsetLands)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(32, 8);
+    for (int i = 0; i < 4; ++i)
+        pm.writeU64(a + 8 * static_cast<Addr>(i), 10 + i);
+    pm.persistAll();
+
+    // One 32-byte store = one pending persist spanning four words.
+    std::uint64_t neu[4] = {20, 21, 22, 23};
+    pm.write(a, neu, sizeof(neu));
+    ASSERT_EQ(pm.inFlightCount(), 1u);
+    EXPECT_EQ(pm.pendingEntryWords(0), 4u);
+
+    // Tear it: words 0 and 2 durable, words 1 and 3 lost.
+    pm.crashTorn(0, 0b0101);
+    EXPECT_EQ(pm.readU64(a), 20u);
+    EXPECT_EQ(pm.readU64(a + 8), 11u);
+    EXPECT_EQ(pm.readU64(a + 16), 22u);
+    EXPECT_EQ(pm.readU64(a + 24), 13u);
+    // Reboot semantics: the volatile image equals the durable one.
+    EXPECT_EQ(std::memcmp(pm.volatileImage(), pm.persistedImage(),
+                          pm.size()),
+              0);
+}
+
+TEST(TornCrash, ZeroMaskDegeneratesToCleanPrefix)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(16, 8);
+    pm.writeU64(a, 1);
+    pm.writeU64(a + 8, 1);
+    pm.persistAll();
+    pm.writeU64(a, 2);
+    pm.writeU64(a + 8, 2);
+    pm.crashTorn(1, 0);
+    EXPECT_EQ(pm.readU64(a), 2u);
+    EXPECT_EQ(pm.readU64(a + 8), 1u);
+}
+
+TEST(TornCrash, FullMaskEqualsNextPrefix)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(16, 8);
+    std::uint64_t init[2] = {1, 1};
+    pm.write(a, init, sizeof(init));
+    pm.persistAll();
+    std::uint64_t neu[2] = {2, 3};
+    pm.write(a, neu, sizeof(neu));
+    pm.crashTorn(0, 0b11);
+    EXPECT_EQ(pm.readU64(a), 2u);
+    EXPECT_EQ(pm.readU64(a + 8), 3u);
+}
+
+TEST(TornCrash, UnalignedPendingEntrySpansOverlappedWords)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(64, 8);
+    pm.persistAll();
+    std::uint8_t buf[12] = {};
+    // [a+4, a+16) straddles the words at a and a+8.
+    pm.write(a + 4, buf, sizeof(buf));
+    ASSERT_EQ(pm.inFlightCount(), 1u);
+    EXPECT_EQ(pm.pendingEntryWords(0), 2u);
+}
+
+// ---------------------------------------------------------------
+// PersistentMemory: poison and bit rot
+// ---------------------------------------------------------------
+
+TEST(Poison, ReadOverlappingPoisonThrowsMediaError)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(64, 8);
+    pm.writeU64(a + 16, 7);
+    pm.persistAll();
+    pm.poisonWord(a + 16);
+
+    EXPECT_TRUE(pm.isPoisoned(a + 16));
+    EXPECT_THROW(pm.readU64(a + 16), MediaError);
+    // Any overlapping range faults, not just the exact word...
+    std::uint8_t buf[32];
+    EXPECT_THROW(pm.read(a, buf, 32), MediaError);
+    // ...but disjoint reads still work (graceful degradation).
+    EXPECT_NO_THROW(pm.readU64(a));
+    EXPECT_NO_THROW(pm.readU64(a + 24));
+    try {
+        pm.readU64(a + 16);
+        FAIL() << "expected MediaError";
+    } catch (const MediaError &e) {
+        EXPECT_EQ(e.addr, a + 16);
+    }
+}
+
+TEST(Poison, FullWordOverwriteHeals)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(16, 8);
+    pm.poisonWord(a);
+    // A partial store cannot remap the line: still poisoned.
+    std::uint8_t half[4] = {1, 2, 3, 4};
+    pm.write(a, half, sizeof(half));
+    EXPECT_TRUE(pm.isPoisoned(a));
+    // A full 8-byte overwrite heals it.
+    pm.writeU64(a, 42);
+    EXPECT_FALSE(pm.isPoisoned(a));
+    EXPECT_EQ(pm.readU64(a), 42u);
+}
+
+TEST(Poison, ExplicitClearAndEnumeration)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(64, 8);
+    pm.poisonWord(a + 8);
+    pm.poisonWord(a + 40);
+    const auto in_range = pm.poisonedWordsIn(a, 64);
+    ASSERT_EQ(in_range.size(), 2u);
+    EXPECT_EQ(in_range[0], a + 8);
+    EXPECT_EQ(in_range[1], a + 40);
+    EXPECT_TRUE(pm.poisonedWordsIn(a + 16, 16).empty());
+    EXPECT_TRUE(pm.clearPoison(a + 8));
+    EXPECT_FALSE(pm.clearPoison(a + 8));
+    EXPECT_EQ(pm.poisonedWordCount(), 1u);
+}
+
+TEST(Poison, SnapshotRestoreCarriesThePoisonSet)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(16, 8);
+    pm.poisonWord(a);
+    const auto snap = pm.snapshot();
+    pm.clearPoison(a);
+    pm.poisonWord(a + 8);
+    pm.restore(snap);
+    EXPECT_TRUE(pm.isPoisoned(a));
+    EXPECT_FALSE(pm.isPoisoned(a + 8));
+}
+
+TEST(BitRot, CorruptWordIsSilentAndDurable)
+{
+    PersistentMemory pm(1 << 16);
+    const Addr a = pm.alloc(16, 8);
+    pm.writeU64(a, 0xFF00);
+    pm.persistAll();
+    bool observed = false;
+    pm.setObserver([&](runtime::MemOp, Addr, std::uint32_t) {
+        observed = true;
+    });
+    pm.corruptWord(a, 0x0F0F);
+    pm.setObserver(nullptr);
+    EXPECT_FALSE(observed) << "bit rot must not look like an access";
+    EXPECT_EQ(pm.readU64(a), 0xFF00u ^ 0x0F0Fu);
+    std::uint64_t durable = 0;
+    std::memcpy(&durable, pm.persistedImage() + a, 8);
+    EXPECT_EQ(durable, 0xFF00u ^ 0x0F0Fu);
+}
+
+// ---------------------------------------------------------------
+// UndoLog: checksummed recovery under media faults
+// ---------------------------------------------------------------
+
+namespace
+{
+
+struct LogHarness
+{
+    PersistentMemory pm{1 << 20};
+    Addr region;
+    UndoLog log;
+    Addr data;
+
+    LogHarness()
+        : region(pm.alloc(1 << 14, 64)),
+          log(pm, region, 1 << 14),
+          data(pm.alloc(256, 64))
+    {
+        log.reset();
+        for (Addr a = data; a < data + 256; a += 8)
+            pm.writeU64(a, 0xAA);
+        pm.persistAll();
+    }
+};
+
+/** Offsets into the log region (mirrors the entry layout). */
+constexpr std::size_t regionHeaderBytes = 16;
+
+} // namespace
+
+TEST(ChecksummedRecovery, BitFlipInCountedEntryRefusesReplay)
+{
+    LogHarness h;
+    h.log.logRange(h.data, 8);
+    h.pm.writeU64(h.data, 0xBB);
+    h.pm.persistAll();
+
+    // Rot one payload byte beneath the checksum.
+    const Addr payload =
+        h.region + regionHeaderBytes + UndoLog::entryHeaderBytes;
+    h.pm.corruptWord(payload, 0x1);
+
+    const auto res = h.log.recover();
+    EXPECT_FALSE(res.consistent);
+    EXPECT_EQ(res.replayed, 0u);
+    EXPECT_EQ(res.discardedCorrupt, 1u);
+    EXPECT_NE(res.detail.find("checksum"), std::string::npos)
+        << res.detail;
+    // Fail-safe: nothing was replayed, the log was not truncated.
+    EXPECT_EQ(h.pm.readU64(h.data), 0xBBu);
+    EXPECT_TRUE(h.log.needsRecovery());
+}
+
+TEST(ChecksummedRecovery, BitFlipInEntryHeaderRefusesReplay)
+{
+    LogHarness h;
+    h.log.logRange(h.data, 8);
+    h.pm.writeU64(h.data, 0xBB);
+    h.pm.persistAll();
+
+    // Rot the entry's target-address field: replaying it would write
+    // 0xAA to the wrong place. The CRC covers the header, so this is
+    // caught the same way.
+    h.pm.corruptWord(h.region + regionHeaderBytes, 0x40);
+
+    const auto res = h.log.recover();
+    EXPECT_FALSE(res.consistent);
+    EXPECT_EQ(res.replayed, 0u);
+    EXPECT_EQ(h.pm.readU64(h.data), 0xBBu);
+}
+
+TEST(ChecksummedRecovery, CorruptionBehindValidEntriesStopsEverything)
+{
+    LogHarness h;
+    h.log.logRange(h.data, 8);
+    h.pm.writeU64(h.data, 0xBB);
+    h.log.logRange(h.data + 64, 8);
+    h.pm.writeU64(h.data + 64, 0xCC);
+    h.pm.persistAll();
+
+    // Corrupt only the *second* entry; the first verifies fine, but
+    // a partial replay could still tear the pre-image, so recovery
+    // must refuse wholesale.
+    const std::size_t entry1 = regionHeaderBytes +
+                               UndoLog::entryHeaderBytes + 8;
+    h.pm.corruptWord(h.region + entry1 + UndoLog::entryHeaderBytes,
+                     0x1);
+
+    const auto res = h.log.recover();
+    EXPECT_FALSE(res.consistent);
+    EXPECT_EQ(res.replayed, 0u);
+    EXPECT_EQ(res.discardedCorrupt, 1u);
+    EXPECT_EQ(h.pm.readU64(h.data), 0xBBu)
+        << "the valid first entry must not have been replayed";
+}
+
+TEST(ChecksummedRecovery, TornFrontierEntryDetectedAndDiscarded)
+{
+    LogHarness h;
+    // A FASE starts logging a 32-byte range but power fails while
+    // the entry is in flight: keep the payload persist, tear the
+    // header persist (addr and tid words land, size and crc do not).
+    h.log.logRange(h.data, 32);
+    ASSERT_GE(h.pm.inFlightCount(), 5u); // payload, header, 2 tombs, count
+    h.pm.crashTorn(1, 0b0101);
+
+    UndoLog rebooted(h.pm, h.region, 1 << 14);
+    EXPECT_FALSE(rebooted.needsRecovery()) << "count never bumped";
+    const auto res = rebooted.recover();
+    EXPECT_TRUE(res.consistent);
+    EXPECT_EQ(res.replayed, 0u);
+    EXPECT_EQ(res.discardedTorn, 1u)
+        << "torn residue at the frontier must be reported";
+    EXPECT_EQ(h.pm.readU64(h.data), 0xAAu);
+}
+
+TEST(ChecksummedRecovery, CleanFrontierReportsNoTornDiscards)
+{
+    LogHarness h;
+    h.log.logRange(h.data, 8);
+    h.pm.writeU64(h.data, 0xBB);
+    h.pm.persistAll();
+    const auto res = h.log.recover();
+    EXPECT_TRUE(res.consistent);
+    EXPECT_EQ(res.replayed, 1u);
+    EXPECT_EQ(res.discardedTorn, 0u);
+    EXPECT_EQ(res.discardedCorrupt, 0u);
+    EXPECT_EQ(h.pm.readU64(h.data), 0xAAu);
+}
+
+TEST(ChecksummedRecovery, PoisonedLogWordsAreQuarantined)
+{
+    LogHarness h;
+    // Poison scratch space past the (empty) log's frontier slot.
+    h.pm.poisonWord(h.region + 1024);
+    h.pm.poisonWord(h.region + 2048);
+    const auto res = h.log.recover();
+    EXPECT_TRUE(res.consistent);
+    EXPECT_EQ(res.poisonedQuarantined, 2u);
+    EXPECT_FALSE(h.pm.isPoisoned(h.region + 1024));
+    EXPECT_FALSE(h.pm.isPoisoned(h.region + 2048));
+}
+
+TEST(ChecksummedRecovery, PoisonedCountedEntryRefusesReplay)
+{
+    LogHarness h;
+    h.log.logRange(h.data, 8);
+    h.pm.writeU64(h.data, 0xBB);
+    h.pm.persistAll();
+    h.pm.poisonWord(h.region + regionHeaderBytes +
+                    UndoLog::entryHeaderBytes);
+    const auto res = h.log.recover();
+    EXPECT_FALSE(res.consistent);
+    EXPECT_EQ(res.replayed, 0u);
+    EXPECT_NE(res.detail.find("poison"), std::string::npos)
+        << res.detail;
+    EXPECT_EQ(h.pm.readU64(h.data), 0xBBu);
+}
+
+TEST(ChecksummedRecovery, PoisonedCountWordRefusesRecovery)
+{
+    LogHarness h;
+    h.pm.poisonWord(h.region); // the entry count itself
+    const auto res = h.log.recover();
+    EXPECT_FALSE(res.consistent);
+    EXPECT_EQ(res.replayed, 0u);
+}
+
+// ---------------------------------------------------------------
+// Acceptance fixture: a log written *without* checksums (as a
+// pre-robustness implementation would have) must be detected as
+// corrupt and refused, not replayed.
+// ---------------------------------------------------------------
+
+TEST(ChecksummedRecovery, UnchecksummedLogFixtureIsRefused)
+{
+    PersistentMemory pm(1 << 20);
+    const Addr region = pm.alloc(1 << 14, 64);
+    const Addr data = pm.alloc(64, 64);
+    pm.writeU64(data, 0xAB);
+    pm.persistAll();
+
+    // Hand-craft one entry the way a checksum-less logger would:
+    // header fields present, crc field never filled in.
+    const Addr entry = region + regionHeaderBytes;
+    pm.writeU64(entry, data);      // target addr
+    pm.writeU64(entry + 8, 8);     // size
+    pm.writeU64(entry + 16, 0);    // tid
+    pm.writeU64(entry + 24, 0);    // crc: absent
+    pm.writeU64(entry + UndoLog::entryHeaderBytes, 0xCD); // old bytes
+    pm.writeU64(region, 1);        // count vouches for the entry
+    pm.persistAll();
+
+    UndoLog log(pm, region, 1 << 14);
+    ASSERT_TRUE(log.needsRecovery());
+    const auto res = log.recover();
+    EXPECT_FALSE(res.consistent);
+    EXPECT_EQ(res.replayed, 0u);
+    EXPECT_EQ(res.discardedCorrupt, 1u);
+    EXPECT_EQ(pm.readU64(data), 0xABu)
+        << "the unverifiable entry must not have been replayed";
+    EXPECT_TRUE(log.needsRecovery())
+        << "a refused log stays un-truncated for diagnosis";
+}
