@@ -18,34 +18,62 @@ main(int argc, char **argv)
     using namespace pmemspec::bench;
     using persistency::Design;
 
-    const auto ops = opsFromArgv(argc, argv, 50);
+    const auto opt = BenchOptions::parse(argc, argv, 50);
+    const auto benches = workloads::allBenchmarks();
+    const auto designs = persistency::allDesigns();
+
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("ablation_barriers");
+
+    // The census only needs thread 0's lowered trace; the trace
+    // generation dominates, so it parallelises per benchmark.
+    std::vector<std::vector<persistency::InstrMix>> mixes(
+        benches.size());
+    runner.forEach(benches.size(), [&](std::size_t i) {
+        auto logical =
+            workloads::generateTraces(benches[i], params(8, opt.ops));
+        for (Design d : designs)
+            mixes[i].push_back(persistency::instrMix(
+                persistency::lower(logical[0], d)));
+    });
 
     std::printf("# Ablation: ordering instructions per FASE "
                 "(thread 0's trace)\n");
     std::printf("%-12s %-10s %8s %8s %8s %8s %8s %8s\n", "benchmark",
                 "design", "clwb", "sfence", "ofence", "dfence",
                 "spec-bar", "drain");
-    for (auto b : workloads::allBenchmarks()) {
-        auto logical =
-            workloads::generateTraces(b, params(8, ops));
-        for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
-                         Design::PmemSpec}) {
-            auto t = persistency::lower(logical[0], d);
-            auto mix = persistency::instrMix(t);
-            const double per_fase = static_cast<double>(ops);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const double per_fase = static_cast<double>(opt.ops);
+        for (std::size_t j = 0; j < designs.size(); ++j) {
+            const auto &mix = mixes[i][j];
             std::printf(
                 "%-12s %-10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
-                workloads::benchName(b),
-                persistency::designName(d).c_str(),
+                workloads::benchName(benches[i]),
+                persistency::designName(designs[j]).c_str(),
                 mix.clwbs / per_fase, mix.sfences / per_fase,
                 mix.ofences / per_fase, mix.dfences / per_fase,
                 mix.specBarriers / per_fase,
                 mix.drainBuffers / per_fase);
+            Json row = Json::object();
+            row.set("benchmark",
+                    Json(workloads::benchName(benches[i])));
+            row.set("design",
+                    Json(persistency::designName(designs[j])));
+            row.set("clwb_per_fase", Json(mix.clwbs / per_fase));
+            row.set("sfence_per_fase", Json(mix.sfences / per_fase));
+            row.set("ofence_per_fase", Json(mix.ofences / per_fase));
+            row.set("dfence_per_fase", Json(mix.dfences / per_fase));
+            row.set("spec_barrier_per_fase",
+                    Json(mix.specBarriers / per_fase));
+            row.set("drain_per_fase",
+                    Json(mix.drainBuffers / per_fase));
+            sink.addRow("census", std::move(row));
         }
         std::fflush(stdout);
     }
     std::printf("\nPMEM-Spec executes exactly one ordering "
                 "instruction per FASE (spec-barrier), the strict-"
                 "persistency promise of Section 4.1.\n");
+    finishJson(sink, opt);
     return 0;
 }

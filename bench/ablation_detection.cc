@@ -13,55 +13,60 @@
  */
 
 #include "bench_util.hh"
-#include "persistency/lowering.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pmemspec;
     using namespace pmemspec::bench;
-    using persistency::Design;
 
-    const auto ops = opsFromArgv(argc, argv, 100);
+    const auto opt = BenchOptions::parse(argc, argv, 100);
+    const auto benches = workloads::allBenchmarks();
+
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("ablation_detection");
+
+    std::vector<core::SweepPoint> points;
+    for (auto b : benches) {
+        core::SweepPoint p;
+        p.id = workloads::benchName(b);
+        p.cfg.withBench(b)
+            .withDesign(persistency::Design::PmemSpec)
+            .withMachine(core::defaultMachineConfig(8));
+        p.cfg.workload = params(8, opt.ops);
+        points.push_back(std::move(p));
+    }
+    const auto results = runner.run(points);
+    sink.addPoints(results);
 
     std::printf("# Ablation: load-misspec detection scheme "
                 "(8 cores, PMEM-Spec)\n");
     std::printf("%-12s %22s %22s\n", "benchmark",
                 "fetch-based-false-pos", "eviction-based-misspecs");
-    for (auto b : workloads::allBenchmarks()) {
-        // Re-run the experiment manually to reach the machine stats.
-        core::ExperimentConfig cfg;
-        cfg.bench = b;
-        cfg.design = Design::PmemSpec;
-        cfg.machine = core::defaultMachineConfig(8);
-        cfg.workload = params(8, ops);
-
-        auto logical = workloads::generateTraces(cfg.bench,
-                                                 cfg.workload);
-        std::vector<cpu::Trace> traces;
-        for (const auto &lt : logical)
-            traces.push_back(persistency::lower(lt, cfg.design));
-        cpu::MachineConfig mc = cfg.machine;
-        mc.design = cfg.design;
-        mc.mem.numCores = cfg.workload.numThreads;
-        cpu::Machine m(mc);
-        m.setTraces(std::move(traces));
-        auto r = m.run();
-
+    for (const auto &r : results) {
+        fatal_if(!r.ok(), "point %s failed: %s", r.id.c_str(),
+                 r.error.c_str());
         // Every store that write-allocated its block would have been
         // flagged by the fetch-based scheme (Figure 4): the store's
         // own persist overwrites the just-fetched block within the
         // window by construction.
-        const auto false_pos =
-            m.memory().storeAllocFetches.value();
-        std::printf("%-12s %22llu %22llu\n", workloads::benchName(b),
+        const auto false_pos = static_cast<std::uint64_t>(
+            r.result.statOr("machine.memsys.storeAllocFetches"));
+        const auto misspecs =
+            r.result.run.loadMisspecs + r.result.run.storeMisspecs;
+        std::printf("%-12s %22llu %22llu\n", r.id.c_str(),
                     static_cast<unsigned long long>(false_pos),
-                    static_cast<unsigned long long>(
-                        r.loadMisspecs + r.storeMisspecs));
+                    static_cast<unsigned long long>(misspecs));
         std::fflush(stdout);
+        Json row = Json::object();
+        row.set("benchmark", Json(r.id));
+        row.set("fetch_based_false_positives", Json(false_pos));
+        row.set("eviction_based_misspecs", Json(misspecs));
+        sink.addRow("detection", std::move(row));
     }
     std::printf("\nEvery fetch-based false positive would abort the "
                 "running FASEs; the eviction-based scheme removes "
                 "them entirely (Section 5.1.4).\n");
+    finishJson(sink, opt);
     return 0;
 }

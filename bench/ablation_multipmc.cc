@@ -21,9 +21,12 @@ main(int argc, char **argv)
     using namespace pmemspec::bench;
     using persistency::Design;
 
-    const auto ops = opsFromArgv(argc, argv, 200);
+    const auto opt = BenchOptions::parse(argc, argv, 200);
     const auto bench = workloads::BenchId::Tpcc;
-    auto p = params(8, ops);
+    auto p = params(8, opt.ops);
+
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("ablation_multipmc");
 
     auto logical = workloads::generateTraces(bench, p);
     std::vector<cpu::Trace> lowered;
@@ -31,35 +34,61 @@ main(int argc, char **argv)
         lowered.push_back(
             persistency::lower(lt, Design::PmemSpec));
 
-    std::printf("# Ablation: multiple PM controllers "
-                "(PMEM-Spec, TPCC, 8 cores)\n");
-    std::printf("%-6s %-10s %14s %18s\n", "pmcs", "noc",
-                "tput(FASEs/s)", "reorder-hazards");
+    struct Config
+    {
+        unsigned pmcs;
+        bool ordered;
+    };
+    std::vector<Config> configs;
     for (unsigned pmcs : {1u, 2u, 4u}) {
         for (bool ordered : {true, false}) {
             if (pmcs == 1 && !ordered)
                 continue; // one controller cannot reorder
-            cpu::MachineConfig mc = core::defaultMachineConfig(8);
-            mc.design = Design::PmemSpec;
-            mc.mem.numPmcs = pmcs;
-            mc.mem.orderedNoc = ordered;
-            cpu::Machine m(mc);
-            auto traces = lowered;
-            m.setTraces(std::move(traces));
-            auto r = m.run();
-            std::printf("%-6u %-10s %14.3e %18llu%s\n", pmcs,
-                        ordered ? "ordered" : "unordered",
-                        r.throughput(),
-                        static_cast<unsigned long long>(
-                            r.crossPmcReorderHazards),
-                        ordered ? "" : "   (undetectable!)");
-            std::fflush(stdout);
+            configs.push_back({pmcs, ordered});
         }
+    }
+
+    // Hand-built traces bypass ExperimentConfig, so this sweep runs
+    // through the generic parallel-for (each run copies the lowered
+    // traces; the shared source vector is read-only).
+    std::vector<cpu::RunResult> results(configs.size());
+    runner.forEach(configs.size(), [&](std::size_t i) {
+        cpu::MachineConfig mc = core::defaultMachineConfig(8);
+        mc.design = Design::PmemSpec;
+        mc.mem.numPmcs = configs[i].pmcs;
+        mc.mem.orderedNoc = configs[i].ordered;
+        cpu::Machine m(mc);
+        auto traces = lowered;
+        m.setTraces(std::move(traces));
+        results[i] = m.run();
+    });
+
+    std::printf("# Ablation: multiple PM controllers "
+                "(PMEM-Spec, TPCC, 8 cores)\n");
+    std::printf("%-6s %-10s %14s %18s\n", "pmcs", "noc",
+                "tput(FASEs/s)", "reorder-hazards");
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto &cfg = configs[i];
+        const auto &r = results[i];
+        std::printf("%-6u %-10s %14.3e %18llu%s\n", cfg.pmcs,
+                    cfg.ordered ? "ordered" : "unordered",
+                    r.throughput(),
+                    static_cast<unsigned long long>(
+                        r.crossPmcReorderHazards),
+                    cfg.ordered ? "" : "   (undetectable!)");
+        std::fflush(stdout);
+        Json row = Json::object();
+        row.set("pmcs", Json(cfg.pmcs));
+        row.set("noc", Json(cfg.ordered ? "ordered" : "unordered"));
+        row.set("throughput", Json(r.throughput()));
+        row.set("reorder_hazards", Json(r.crossPmcReorderHazards));
+        sink.addRow("multipmc", std::move(row));
     }
     std::printf("\nWith the ordered-NoC extension the design scales "
                 "to several controllers with zero ordering hazards; "
                 "an unordered NoC silently breaks strict persistency "
                 "(the hazards are invisible to the speculation "
                 "buffer), confirming Section 7.\n");
+    finishJson(sink, opt);
     return 0;
 }

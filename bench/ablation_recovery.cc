@@ -10,26 +10,29 @@
  * under both policies.
  */
 
-#include <cstdio>
+#include <array>
 
-#include "common/types.hh"
+#include "bench_util.hh"
 #include "pmds/pm_array.hh"
 #include "runtime/fase_runtime.hh"
 #include "runtime/virtual_os.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pmemspec;
+    using namespace pmemspec::bench;
     using namespace pmemspec::runtime;
 
-    std::printf("# Ablation: lazy vs eager recovery "
-                "(accesses executed per aborted FASE)\n");
-    std::printf("%-14s %12s %12s %12s\n", "fase-accesses", "lazy",
-                "eager", "saving");
+    const auto opt = BenchOptions::parse(argc, argv);
+    const std::vector<unsigned> lens = {4, 16, 64, 256, 1024};
 
-    for (unsigned len : {4u, 16u, 64u, 256u, 1024u}) {
-        std::size_t executed[2] = {0, 0};
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("ablation_recovery");
+
+    std::vector<std::array<std::size_t, 2>> executed(lens.size());
+    runner.forEach(lens.size(), [&](std::size_t li) {
+        const unsigned len = lens[li];
         int idx = 0;
         for (RecoveryPolicy policy :
              {RecoveryPolicy::Lazy, RecoveryPolicy::Eager}) {
@@ -52,16 +55,32 @@ main()
                         os.raiseMisspecInterrupt(arr.elemAddr(0));
                 }
             });
-            executed[idx++] = accesses;
+            executed[li][idx++] = accesses;
         }
-        std::printf("%-14u %12zu %12zu %11.1f%%\n", len, executed[0],
-                    executed[1],
-                    100.0 *
-                        (1.0 - static_cast<double>(executed[1]) /
-                                   static_cast<double>(executed[0])));
+    });
+
+    std::printf("# Ablation: lazy vs eager recovery "
+                "(accesses executed per aborted FASE)\n");
+    std::printf("%-14s %12s %12s %12s\n", "fase-accesses", "lazy",
+                "eager", "saving");
+    for (std::size_t li = 0; li < lens.size(); ++li) {
+        const double saving =
+            100.0 * (1.0 - static_cast<double>(executed[li][1]) /
+                               static_cast<double>(executed[li][0]));
+        std::printf("%-14u %12zu %12zu %11.1f%%\n", lens[li],
+                    executed[li][0], executed[li][1], saving);
+        Json row = Json::object();
+        row.set("fase_accesses", Json(lens[li]));
+        row.set("lazy",
+                Json(static_cast<std::uint64_t>(executed[li][0])));
+        row.set("eager",
+                Json(static_cast<std::uint64_t>(executed[li][1])));
+        row.set("saving_pct", Json(saving));
+        sink.addRow("recovery", std::move(row));
     }
     std::printf("\nEager recovery aborts the doomed attempt at its "
                 "next runtime entry point instead of running the "
                 "FASE to its commit check (Section 6.2.2).\n");
+    finishJson(sink, opt);
     return 0;
 }

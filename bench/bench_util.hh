@@ -7,19 +7,28 @@
  * *shape* (who wins, by roughly what factor) is the reproduction
  * target (see EXPERIMENTS.md).
  *
- * All binaries accept: [ops_per_thread] as argv[1] (default below).
+ * Common CLI (BenchOptions):
+ *   --ops N          FASEs per thread (bare argv[1] still accepted)
+ *   --jobs N         sweep worker threads (0/default = host cores)
+ *   --json PATH      write machine-readable results (BENCH_*.json)
+ *   --designs A,B    subset of IntelX86,DPO,HOPS,PMEM-Spec
+ *   --help           usage
  */
 
 #ifndef PMEMSPEC_BENCH_BENCH_UTIL_HH
 #define PMEMSPEC_BENCH_BENCH_UTIL_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 
 namespace pmemspec::bench
 {
@@ -29,16 +38,121 @@ namespace pmemspec::bench
  *  seconds instead of hours). */
 constexpr std::uint64_t defaultOps = 400;
 
-inline std::uint64_t
-opsFromArgv(int argc, char **argv, std::uint64_t fallback = defaultOps)
+/** Parsed common command line of every bench binary. */
+struct BenchOptions
 {
-    if (argc > 1) {
-        const long v = std::atol(argv[1]);
-        if (v > 0)
-            return static_cast<std::uint64_t>(v);
+    std::uint64_t ops = defaultOps;
+    /** Sweep worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+    /** Output path for the JSON results; empty = stdout only. */
+    std::string jsonPath;
+    std::vector<persistency::Design> designs =
+        persistency::allDesigns();
+
+    static BenchOptions
+    parse(int argc, char **argv,
+          std::uint64_t fallback_ops = defaultOps)
+    {
+        BenchOptions opt;
+        opt.ops = fallback_ops;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&](const char *flag) -> const char * {
+                if (++i >= argc)
+                    usageExit(argv[0], 1, "missing value for %s",
+                              flag);
+                return argv[i];
+            };
+            if (arg == "--help" || arg == "-h") {
+                usageExit(argv[0], 0, nullptr);
+            } else if (arg == "--ops") {
+                opt.ops = parseCount(argv[0], "--ops",
+                                     value("--ops"));
+            } else if (arg == "--jobs") {
+                opt.jobs = static_cast<unsigned>(parseCount(
+                    argv[0], "--jobs", value("--jobs")));
+            } else if (arg == "--json") {
+                opt.jsonPath = value("--json");
+            } else if (arg == "--designs") {
+                opt.designs = parseDesigns(argv[0],
+                                           value("--designs"));
+            } else if (i == 1 && !arg.empty() &&
+                       arg.find_first_not_of("0123456789") ==
+                           std::string::npos) {
+                // Backward compatible bare ops_per_thread position.
+                opt.ops = parseCount(argv[0], "ops", argv[i]);
+            } else {
+                usageExit(argv[0], 1, "unknown argument '%s'",
+                          arg.c_str());
+            }
+        }
+        return opt;
     }
-    return fallback;
-}
+
+  private:
+    [[noreturn]] static void
+    usageExit(const char *prog, int code, const char *fmt, ...)
+    {
+        if (fmt) {
+            va_list args;
+            va_start(args, fmt);
+            std::fprintf(stderr, "%s: ", prog);
+            std::vfprintf(stderr, fmt, args);
+            std::fprintf(stderr, "\n");
+            va_end(args);
+        }
+        std::fprintf(
+            code ? stderr : stdout,
+            "usage: %s [ops_per_thread] [--ops N] [--jobs N]\n"
+            "       [--json PATH] [--designs A,B,...] [--help]\n"
+            "\n"
+            "  --ops N        FASEs per thread\n"
+            "  --jobs N       parallel sweep workers (default: host "
+            "cores)\n"
+            "  --json PATH    write machine-readable results "
+            "(pmemspec-bench-v1)\n"
+            "  --designs L    comma list of IntelX86,DPO,HOPS,"
+            "PMEM-Spec\n",
+            prog);
+        std::exit(code);
+    }
+
+    static std::uint64_t
+    parseCount(const char *prog, const char *flag, const char *s)
+    {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (!end || *end != '\0' || v == 0)
+            usageExit(prog, 1, "%s wants a positive integer, got '%s'",
+                      flag, s);
+        return static_cast<std::uint64_t>(v);
+    }
+
+    static std::vector<persistency::Design>
+    parseDesigns(const char *prog, const std::string &list)
+    {
+        std::vector<persistency::Design> out;
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            const std::string name =
+                list.substr(pos, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - pos);
+            persistency::Design d;
+            if (!persistency::designFromName(name, d))
+                usageExit(prog, 1, "unknown design '%s'",
+                          name.c_str());
+            out.push_back(d);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (out.empty())
+            usageExit(prog, 1, "--designs wants at least one design");
+        return out;
+    }
+};
 
 inline workloads::WorkloadParams
 params(unsigned threads, std::uint64_t ops)
@@ -50,40 +164,88 @@ params(unsigned threads, std::uint64_t ops)
     return p;
 }
 
-/** One normalised row: benchmark name + value per design. */
+/** Header: benchmark column + one column per selected design. */
 inline void
-printHeader(const char *title)
+printHeader(const char *title,
+            const std::vector<persistency::Design> &designs =
+                persistency::allDesigns())
 {
     std::printf("# %s\n", title);
-    std::printf("%-12s %10s %10s %10s %10s\n", "benchmark", "IntelX86",
-                "DPO", "HOPS", "PMEM-Spec");
+    std::printf("%-12s", "benchmark");
+    for (auto d : designs)
+        std::printf(" %10s", persistency::designName(d).c_str());
+    std::printf("\n");
 }
 
 inline void
-printRow(const std::string &name,
-         const std::map<persistency::Design, double> &norm)
+printRow(const std::string &name, const core::NormalizedRow &row)
 {
-    using persistency::Design;
-    std::printf("%-12s %10.3f %10.3f %10.3f %10.3f\n", name.c_str(),
-                norm.at(Design::IntelX86), norm.at(Design::DPO),
-                norm.at(Design::HOPS), norm.at(Design::PmemSpec));
+    std::printf("%-12s", name.c_str());
+    for (auto d : row.designs)
+        std::printf(" %10.3f", row.normalized.at(d));
+    std::printf("\n");
     std::fflush(stdout);
 }
 
 inline void
-printGeomeanRow(const std::vector<std::map<persistency::Design,
-                                           double>> &rows)
+printRow(const core::NormalizedRow &row)
 {
-    using persistency::Design;
-    std::map<Design, double> gm;
-    for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
-                     Design::PmemSpec}) {
-        std::vector<double> vals;
-        for (const auto &r : rows)
-            vals.push_back(r.at(d));
-        gm[d] = geomean(vals);
+    printRow(workloads::benchName(row.bench), row);
+}
+
+/** Fold per-design geomeans over the rows into one synthetic row. */
+inline core::NormalizedRow
+geomeanRow(const std::vector<core::NormalizedRow> &rows)
+{
+    core::NormalizedRow gm;
+    if (rows.empty())
+        return gm;
+    gm.baseline = rows.front().baseline;
+    gm.designs = rows.front().designs;
+    for (auto d : gm.designs) {
+        std::vector<double> norm_vals, raw_vals;
+        for (const auto &r : rows) {
+            norm_vals.push_back(r.normalized.at(d));
+            raw_vals.push_back(r.throughput.at(d));
+        }
+        gm.normalized[d] = geomean(norm_vals);
+        gm.throughput[d] = geomean(raw_vals);
     }
-    printRow("GEOMEAN", gm);
+    return gm;
+}
+
+inline void
+printGeomeanRow(const std::vector<core::NormalizedRow> &rows)
+{
+    printRow("GEOMEAN", geomeanRow(rows));
+}
+
+/** Append the standard normalized table (+ GEOMEAN) to the sink. */
+inline void
+sinkNormalizedTable(core::ResultSink &sink,
+                    const std::vector<core::NormalizedRow> &rows,
+                    const std::string &table = "normalized")
+{
+    for (const auto &r : rows)
+        sink.addRow(table, core::ResultSink::rowJson(
+                               workloads::benchName(r.bench), r));
+    if (!rows.empty())
+        sink.addRow(table, core::ResultSink::rowJson(
+                               "GEOMEAN", geomeanRow(rows)));
+}
+
+/** Standard run metadata + the JSON file write (if requested). */
+inline void
+finishJson(core::ResultSink &sink, const BenchOptions &opt)
+{
+    // Job count and wall clock are host facts, not results; leaving
+    // them out keeps --jobs 1 and --jobs N byte-identical.
+    sink.setMeta("ops_per_thread", Json(opt.ops));
+    Json designs = Json::array();
+    for (auto d : opt.designs)
+        designs.push(Json(persistency::designName(d)));
+    sink.setMeta("designs", std::move(designs));
+    sink.writeFile(opt.jsonPath);
 }
 
 } // namespace pmemspec::bench

@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/bloom_filter.hh"
 #include "common/rng.hh"
 #include "mem/cache.hh"
@@ -133,4 +136,33 @@ BM_RbTreeInsertErase(benchmark::State &state)
 }
 BENCHMARK(BM_RbTreeInsertErase)->Iterations(50000);
 
-BENCHMARK_MAIN();
+// Custom main: translate the repo-wide `--json PATH` flag into
+// google-benchmark's JSON reporter so this binary emits a
+// BENCH_*.json like every other bench binary.
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            args.push_back(std::string("--benchmark_out=") +
+                           argv[i + 1]);
+            args.push_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    std::vector<char *> cargs;
+    cargs.reserve(args.size());
+    for (auto &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,17 +16,22 @@ main(int argc, char **argv)
     using namespace pmemspec;
     using namespace pmemspec::bench;
 
-    const auto ops = opsFromArgv(argc, argv);
+    const auto opt = BenchOptions::parse(argc, argv);
     const auto machine = core::defaultMachineConfig(8);
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("fig09_throughput");
 
-    printHeader("Figure 9: normalised throughput, 8 cores");
-    std::vector<std::map<persistency::Design, double>> rows;
-    for (auto b : workloads::allBenchmarks()) {
-        auto norm =
-            core::runNormalized(b, machine, params(8, ops));
-        printRow(workloads::benchName(b), norm);
-        rows.push_back(std::move(norm));
-    }
+    auto rows = core::runNormalizedSweep(
+        workloads::allBenchmarks(), machine, params(8, opt.ops),
+        runner, opt.designs, &sink);
+
+    printHeader("Figure 9: normalised throughput, 8 cores",
+                opt.designs);
+    for (const auto &row : rows)
+        printRow(row);
     printGeomeanRow(rows);
+
+    sinkNormalizedTable(sink, rows);
+    finishJson(sink, opt);
     return 0;
 }

@@ -17,17 +17,18 @@ main(int argc, char **argv)
     using namespace pmemspec::bench;
 
     // Keep total work roughly constant across core counts.
-    const auto base_ops = opsFromArgv(argc, argv, 3200);
+    const auto opt = BenchOptions::parse(argc, argv, 3200);
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("fig10_cores");
 
     for (unsigned cores : {16u, 32u, 64u}) {
         const std::uint64_t ops =
-            std::max<std::uint64_t>(25, base_ops / cores);
+            std::max<std::uint64_t>(25, opt.ops / cores);
         char title[96];
         std::snprintf(title, sizeof(title),
                       "Figure 10: normalised throughput, %u cores "
                       "(%llu FASEs/thread)",
                       cores, static_cast<unsigned long long>(ops));
-        printHeader(title);
         auto machine = core::defaultMachineConfig(cores);
         // Table 3 describes the 8-core machine; larger systems scale
         // the shared uncore (PM banks/channels and PMC queues)
@@ -37,15 +38,23 @@ main(int argc, char **argv)
         machine.mem.pmBanks *= scale;
         machine.mem.pmcWriteQueue *= scale;
         machine.mem.pmcReadQueue *= scale;
-        std::vector<std::map<persistency::Design, double>> rows;
-        for (auto b : workloads::allBenchmarks()) {
-            auto norm = core::runNormalized(b, machine,
-                                            params(cores, ops));
-            printRow(workloads::benchName(b), norm);
-            rows.push_back(std::move(norm));
-        }
+
+        char prefix[16];
+        std::snprintf(prefix, sizeof(prefix), "c%u/", cores);
+        auto rows = core::runNormalizedSweep(
+            workloads::allBenchmarks(), machine, params(cores, ops),
+            runner, opt.designs, &sink, prefix);
+
+        printHeader(title, opt.designs);
+        for (const auto &row : rows)
+            printRow(row);
         printGeomeanRow(rows);
         std::printf("\n");
+
+        char table[32];
+        std::snprintf(table, sizeof(table), "cores_%u", cores);
+        sinkNormalizedTable(sink, rows, table);
     }
+    finishJson(sink, opt);
     return 0;
 }

@@ -18,8 +18,34 @@ main(int argc, char **argv)
     using namespace pmemspec;
     using namespace pmemspec::bench;
 
-    const auto ops = opsFromArgv(argc, argv);
-    const unsigned sizes[] = {1, 2, 4, 8, 16};
+    const auto opt = BenchOptions::parse(argc, argv);
+    const std::vector<unsigned> sizes = {1, 2, 4, 8, 16};
+    const auto benches = workloads::allBenchmarks();
+
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("fig11_specbuf");
+
+    std::vector<core::SweepPoint> points;
+    for (unsigned size : sizes) {
+        for (auto b : benches) {
+            core::SweepPoint p;
+            p.id = "sb" + std::to_string(size) + "/" +
+                   workloads::benchName(b);
+            p.cfg.withBench(b)
+                .withDesign(persistency::Design::PmemSpec)
+                .withMachine(core::defaultMachineConfig(8));
+            p.cfg.machine.mem.specBufferEntries = size;
+            // The sweep needs LLC eviction pressure (the buffer only
+            // monitors evicted blocks); our scaled-down footprints
+            // are cache-resident, so shrink the LLC proportionally
+            // to recreate the paper's eviction rate.
+            p.cfg.machine.mem.llcBytes = 1 << 21; // 2 MB
+            p.cfg.workload = params(8, opt.ops);
+            points.push_back(std::move(p));
+        }
+    }
+    const auto results = runner.run(points);
+    sink.addPoints(results);
 
     std::printf("# Figure 11: speculation buffer size sweep "
                 "(8 cores, PMEM-Spec)\n");
@@ -28,24 +54,16 @@ main(int argc, char **argv)
 
     std::map<unsigned, double> geomean_by_size;
     std::map<unsigned, std::uint64_t> pauses_by_size;
+    std::size_t idx = 0;
     for (unsigned size : sizes) {
         std::vector<double> tputs;
         std::uint64_t pauses = 0;
-        for (auto b : workloads::allBenchmarks()) {
-            core::ExperimentConfig cfg;
-            cfg.bench = b;
-            cfg.design = persistency::Design::PmemSpec;
-            cfg.machine = core::defaultMachineConfig(8);
-            cfg.machine.mem.specBufferEntries = size;
-            // The sweep needs LLC eviction pressure (the buffer only
-            // monitors evicted blocks); our scaled-down footprints
-            // are cache-resident, so shrink the LLC proportionally
-            // to recreate the paper's eviction rate.
-            cfg.machine.mem.llcBytes = 1 << 21; // 2 MB
-            cfg.workload = params(8, ops);
-            auto res = core::runExperiment(cfg);
-            tputs.push_back(res.throughput);
-            pauses += res.run.specBufFullPauses;
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            const auto &r = results[idx++];
+            fatal_if(!r.ok(), "point %s failed: %s", r.id.c_str(),
+                     r.error.c_str());
+            tputs.push_back(r.result.throughput);
+            pauses += r.result.run.specBufFullPauses;
         }
         geomean_by_size[size] = geomean(tputs);
         pauses_by_size[size] = pauses;
@@ -56,6 +74,13 @@ main(int argc, char **argv)
                     geomean_by_size[size], geomean_by_size[size] / ref,
                     static_cast<unsigned long long>(
                         pauses_by_size[size]));
+        Json row = Json::object();
+        row.set("entries", Json(size));
+        row.set("geomean_throughput", Json(geomean_by_size[size]));
+        row.set("vs_16_entry", Json(geomean_by_size[size] / ref));
+        row.set("full_pauses", Json(pauses_by_size[size]));
+        sink.addRow("specbuf", std::move(row));
     }
+    finishJson(sink, opt);
     return 0;
 }

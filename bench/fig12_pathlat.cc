@@ -18,44 +18,77 @@ main(int argc, char **argv)
     using namespace pmemspec::bench;
     using persistency::Design;
 
-    const auto ops = opsFromArgv(argc, argv);
+    const auto opt = BenchOptions::parse(argc, argv);
+    const auto benches = workloads::allBenchmarks();
+    const std::vector<unsigned> lats = {20, 40, 60, 80, 100};
+    const std::vector<Design> designs = {Design::HOPS,
+                                         Design::PmemSpec};
 
-    // Baseline (IntelX86) throughput per benchmark, computed once.
-    std::map<workloads::BenchId, double> baseline;
-    for (auto b : workloads::allBenchmarks()) {
-        core::ExperimentConfig cfg;
-        cfg.bench = b;
-        cfg.design = Design::IntelX86;
-        cfg.machine = core::defaultMachineConfig(8);
-        cfg.workload = params(8, ops);
-        baseline[b] = core::runExperiment(cfg).throughput;
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("fig12_pathlat");
+
+    // One sweep: the per-benchmark IntelX86 baselines followed by
+    // every (latency, design, benchmark) point.
+    std::vector<core::SweepPoint> points;
+    for (auto b : benches) {
+        core::SweepPoint p;
+        p.id = std::string("base/") + workloads::benchName(b);
+        p.cfg.withBench(b)
+            .withDesign(Design::IntelX86)
+            .withMachine(core::defaultMachineConfig(8));
+        p.cfg.workload = params(8, opt.ops);
+        points.push_back(std::move(p));
     }
+    for (unsigned lat : lats) {
+        for (Design d : designs) {
+            for (auto b : benches) {
+                core::SweepPoint p;
+                p.id = "lat" + std::to_string(lat) + "/" +
+                       persistency::designName(d) + "/" +
+                       workloads::benchName(b);
+                p.cfg.withBench(b).withDesign(d).withMachine(
+                    core::defaultMachineConfig(8));
+                p.cfg.machine.mem.persistPathLatency = nsToTicks(lat);
+                // The ring-bus window scales with the idle latency.
+                p.cfg.machine.mem.speculationWindow = 0;
+                p.cfg.workload = params(8, opt.ops);
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    const auto results = runner.run(points);
+    sink.addPoints(results);
+    for (const auto &r : results)
+        fatal_if(!r.ok(), "point %s failed: %s", r.id.c_str(),
+                 r.error.c_str());
+
+    std::map<workloads::BenchId, double> baseline;
+    std::size_t idx = 0;
+    for (auto b : benches)
+        baseline[b] = results[idx++].result.throughput;
 
     std::printf("# Figure 12: persist-path latency sweep (8 cores), "
                 "geomean normalised to IntelX86\n");
     std::printf("%-14s %10s %10s\n", "latency(ns)", "HOPS",
                 "PMEM-Spec");
-    for (unsigned lat : {20u, 40u, 60u, 80u, 100u}) {
+    for (unsigned lat : lats) {
         std::map<Design, double> gm;
-        for (Design d : {Design::HOPS, Design::PmemSpec}) {
+        for (Design d : designs) {
             std::vector<double> norms;
-            for (auto b : workloads::allBenchmarks()) {
-                core::ExperimentConfig cfg;
-                cfg.bench = b;
-                cfg.design = d;
-                cfg.machine = core::defaultMachineConfig(8);
-                cfg.machine.mem.persistPathLatency = nsToTicks(lat);
-                // The ring-bus window scales with the idle latency.
-                cfg.machine.mem.speculationWindow = 0;
-                cfg.workload = params(8, ops);
-                norms.push_back(core::runExperiment(cfg).throughput /
+            for (auto b : benches)
+                norms.push_back(results[idx++].result.throughput /
                                 baseline[b]);
-            }
             gm[d] = geomean(norms);
         }
         std::printf("%-14u %10.3f %10.3f\n", lat, gm[Design::HOPS],
                     gm[Design::PmemSpec]);
         std::fflush(stdout);
+        Json row = Json::object();
+        row.set("latency_ns", Json(lat));
+        row.set("HOPS", Json(gm[Design::HOPS]));
+        row.set("PMEM-Spec", Json(gm[Design::PmemSpec]));
+        sink.addRow("pathlat", std::move(row));
     }
+    finishJson(sink, opt);
     return 0;
 }

@@ -47,38 +47,50 @@ main(int argc, char **argv)
     using namespace pmemspec;
     using namespace pmemspec::bench;
 
-    const auto ops = opsFromArgv(argc, argv);
+    const auto opt = BenchOptions::parse(argc, argv);
+    const auto benches = workloads::allBenchmarks();
+
+    core::SweepRunner runner(opt.jobs);
+    core::ResultSink sink("misspec_rates");
+
+    std::vector<core::SweepPoint> points;
+    for (auto b : benches) {
+        core::SweepPoint p;
+        p.id = workloads::benchName(b);
+        p.cfg.withBench(b)
+            .withDesign(persistency::Design::PmemSpec)
+            .withMachine(core::defaultMachineConfig(8));
+        p.cfg.workload = params(8, opt.ops);
+        points.push_back(std::move(p));
+    }
+    const auto results = runner.run(points);
+    sink.addPoints(results);
 
     std::printf("# Section 8.4: misspeculation rates under "
                 "PMEM-Spec (8 cores)\n");
     std::printf("%-12s %14s %12s %12s %12s\n", "benchmark",
                 "persists", "load-miss", "store-miss", "buf-pauses");
     unsigned long long natural_misspecs = 0;
-    for (auto b : workloads::allBenchmarks()) {
-        core::ExperimentConfig cfg;
-        cfg.bench = b;
-        cfg.design = persistency::Design::PmemSpec;
-        cfg.machine = core::defaultMachineConfig(8);
-        cfg.workload = params(8, ops);
-        auto res = core::runExperiment(cfg);
+    for (const auto &r : results) {
+        fatal_if(!r.ok(), "point %s failed: %s", r.id.c_str(),
+                 r.error.c_str());
+        const auto &run = r.result.run;
         std::printf("%-12s %14llu %12llu %12llu %12llu\n",
-                    workloads::benchName(b),
+                    r.id.c_str(),
+                    static_cast<unsigned long long>(run.instructions),
+                    static_cast<unsigned long long>(run.loadMisspecs),
+                    static_cast<unsigned long long>(run.storeMisspecs),
                     static_cast<unsigned long long>(
-                        res.run.instructions),
-                    static_cast<unsigned long long>(
-                        res.run.loadMisspecs),
-                    static_cast<unsigned long long>(
-                        res.run.storeMisspecs),
-                    static_cast<unsigned long long>(
-                        res.run.specBufFullPauses));
-        natural_misspecs += res.run.loadMisspecs + res.run.storeMisspecs;
+                        run.specBufFullPauses));
+        natural_misspecs += run.loadMisspecs + run.storeMisspecs;
         std::fflush(stdout);
     }
 
-    std::printf("\n# Synthetic stale-read kernel vs persist-path "
-                "latency (tiny direct-mapped caches)\n");
-    std::printf("%-14s %12s\n", "latency(ns)", "load-miss");
-    for (unsigned lat : {10u, 20u, 100u, 500u, 2000u}) {
+    // The synthetic kernel bypasses ExperimentConfig (hand-built
+    // trace), so it runs through the generic parallel-for instead.
+    const std::vector<unsigned> lats = {10, 20, 100, 500, 2000};
+    std::vector<std::uint64_t> kernel_misspecs(lats.size());
+    runner.forEach(lats.size(), [&](std::size_t i) {
         cpu::MachineConfig cfg;
         cfg.design = persistency::Design::PmemSpec;
         cfg.mem.numCores = 1;
@@ -86,18 +98,33 @@ main(int argc, char **argv)
         cfg.mem.l1Ways = 1;
         cfg.mem.llcBytes = 4096;
         cfg.mem.llcWays = 1;
-        cfg.mem.persistPathLatency = nsToTicks(lat);
-        cfg.mem.speculationWindow = 4 * nsToTicks(lat);
+        cfg.mem.persistPathLatency = nsToTicks(lats[i]);
+        cfg.mem.speculationWindow = 4 * nsToTicks(lats[i]);
         cpu::Machine m(cfg);
         std::vector<cpu::Trace> traces{staleReadKernel()};
         m.setTraces(std::move(traces));
-        auto r = m.run();
-        std::printf("%-14u %12llu%s\n", lat,
-                    static_cast<unsigned long long>(r.loadMisspecs),
-                    lat <= 20 ? "   (faster than the read path: "
-                                "never misspeculates)"
-                              : "");
+        kernel_misspecs[i] = m.run().loadMisspecs;
+    });
+
+    std::printf("\n# Synthetic stale-read kernel vs persist-path "
+                "latency (tiny direct-mapped caches)\n");
+    std::printf("%-14s %12s\n", "latency(ns)", "load-miss");
+    for (std::size_t i = 0; i < lats.size(); ++i) {
+        std::printf("%-14u %12llu%s\n", lats[i],
+                    static_cast<unsigned long long>(
+                        kernel_misspecs[i]),
+                    lats[i] <= 20 ? "   (faster than the read path: "
+                                    "never misspeculates)"
+                                  : "");
+        Json row = Json::object();
+        row.set("latency_ns", Json(lats[i]));
+        row.set("load_misspecs", Json(kernel_misspecs[i]));
+        sink.addRow("synthetic", std::move(row));
     }
+
+    sink.setMeta("natural_misspecs",
+                 Json(static_cast<std::uint64_t>(natural_misspecs)));
+    finishJson(sink, opt);
 
     if (natural_misspecs != 0) {
         std::printf("\nFAIL: %llu natural misspeculation(s) in the "

@@ -9,13 +9,43 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pmemspec;
+    using namespace pmemspec::bench;
+
+    const auto opt = BenchOptions::parse(argc, argv);
+
     std::cout << "# Table 3: simulator configuration\n";
     core::printConfig(std::cout, core::defaultMachineConfig(8));
     std::cout << "\nSpeculation buffer entry: Address (8B) + state "
                  "(2b) + Spec-ID (32b) + Inserted (30b) = 16B; "
                  "4 entries = 64B of storage (Section 8.1).\n";
+
+    core::ResultSink sink("table3_config");
+    const auto cfg = core::defaultMachineConfig(8);
+    const auto &m = cfg.mem;
+    Json row = Json::object();
+    row.set("cores", Json(m.numCores));
+    row.set("freq_ghz", Json(cfg.core.freqGhz));
+    row.set("sq_entries", Json(cfg.core.sqEntries));
+    row.set("l1_bytes", Json(static_cast<std::uint64_t>(m.l1Bytes)));
+    row.set("l1_ways", Json(m.l1Ways));
+    row.set("llc_bytes", Json(static_cast<std::uint64_t>(m.llcBytes)));
+    row.set("llc_ways", Json(m.llcWays));
+    row.set("pm_read_latency_ns",
+            Json(m.pmReadLatency / ticksPerNs));
+    row.set("pm_write_latency_ns",
+            Json(m.pmWriteLatency / ticksPerNs));
+    row.set("pm_banks", Json(m.pmBanks));
+    row.set("pmc_read_queue", Json(m.pmcReadQueue));
+    row.set("pmc_write_queue", Json(m.pmcWriteQueue));
+    row.set("spec_buffer_entries", Json(m.specBufferEntries));
+    row.set("persist_path_latency_ns",
+            Json(m.persistPathLatency / ticksPerNs));
+    row.set("speculation_window_ns",
+            Json(m.effectiveSpecWindow() / ticksPerNs));
+    sink.addRow("config", std::move(row));
+    finishJson(sink, opt);
     return 0;
 }

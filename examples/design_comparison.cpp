@@ -51,13 +51,13 @@ main(int argc, char **argv)
     }
 
     // The throughput those models produce.
-    auto norm =
+    auto row =
         core::runNormalized(bench, core::defaultMachineConfig(8), p);
     std::printf("\nThroughput normalised to IntelX86:\n");
-    for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
-                     Design::PmemSpec}) {
+    for (Design d : row.designs) {
         std::printf("  %-10s %6.3f\n",
-                    persistency::designName(d).c_str(), norm[d]);
+                    persistency::designName(d).c_str(),
+                    row.normalized.at(d));
     }
     std::printf("\nStrict persistency with speculation (PMEM-Spec) "
                 "needs one ordering instruction per FASE and still "

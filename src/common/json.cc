@@ -1,0 +1,177 @@
+#include "json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace pmemspec
+{
+
+void
+Json::set(const std::string &key, Json v)
+{
+    panic_if(kind != Type::Object, "Json::set on a non-object");
+    for (auto &member : obj) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    obj.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind != Type::Object)
+        return nullptr;
+    for (const auto &member : obj)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+Json *
+Json::find(const std::string &key)
+{
+    return const_cast<Json *>(
+        static_cast<const Json *>(this)->find(key));
+}
+
+void
+Json::push(Json v)
+{
+    panic_if(kind != Type::Array, "Json::push on a non-array");
+    arr.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind == Type::Array)
+        return arr.size();
+    if (kind == Type::Object)
+        return obj.size();
+    return 0;
+}
+
+void
+Json::writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    os << '"';
+}
+
+namespace
+{
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        os << "null";
+        return;
+    }
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, res.ptr - buf);
+}
+
+void
+writeIndent(std::ostream &os, int indent, int depth)
+{
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Json::writeRec(std::ostream &os, int indent, int depth) const
+{
+    switch (kind) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (boolVal ? "true" : "false");
+        break;
+      case Type::Unsigned:
+        os << uintVal;
+        break;
+      case Type::Number:
+        writeNumber(os, numVal);
+        break;
+      case Type::String:
+        writeEscaped(os, strVal);
+        break;
+      case Type::Array:
+        os << '[';
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            if (i)
+                os << ',';
+            if (indent)
+                writeIndent(os, indent, depth + 1);
+            arr[i].writeRec(os, indent, depth + 1);
+        }
+        if (indent && !arr.empty())
+            writeIndent(os, indent, depth);
+        os << ']';
+        break;
+      case Type::Object:
+        os << '{';
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            if (i)
+                os << ',';
+            if (indent)
+                writeIndent(os, indent, depth + 1);
+            writeEscaped(os, obj[i].first);
+            os << (indent ? ": " : ":");
+            obj[i].second.writeRec(os, indent, depth + 1);
+        }
+        if (indent && !obj.empty())
+            writeIndent(os, indent, depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    writeRec(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+} // namespace pmemspec

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal JSON value tree + writer for machine-readable results.
+ *
+ * The bench harness serializes every run (`BENCH_*.json`); nothing in
+ * the simulator parses JSON back, so this is a writer-only library.
+ * Two properties matter more than generality:
+ *
+ *   - Determinism: objects preserve insertion order and numbers are
+ *     formatted with std::to_chars (shortest round-trip, locale
+ *     independent), so equal value trees serialize to equal bytes.
+ *   - Precision: unsigned 64-bit counters (tick counts, event
+ *     counters) are kept integral instead of being squeezed through
+ *     a double.
+ */
+
+#ifndef PMEMSPEC_COMMON_JSON_HH
+#define PMEMSPEC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pmemspec
+{
+
+/** An insertion-ordered JSON value. */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Unsigned,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() : kind(Type::Null) {}
+    Json(bool v) : kind(Type::Bool), boolVal(v) {}
+    Json(double v) : kind(Type::Number), numVal(v) {}
+    Json(std::uint64_t v) : kind(Type::Unsigned), uintVal(v) {}
+    Json(int v) : kind(Type::Number), numVal(v) {}
+    Json(unsigned v) : kind(Type::Unsigned), uintVal(v) {}
+    Json(std::string v) : kind(Type::String), strVal(std::move(v)) {}
+    Json(const char *v) : kind(Type::String), strVal(v) {}
+
+    static Json array() { Json j; j.kind = Type::Array; return j; }
+    static Json object() { Json j; j.kind = Type::Object; return j; }
+
+    Type type() const { return kind; }
+    bool isNull() const { return kind == Type::Null; }
+
+    /** Object access: replaces the value if the key already exists
+     *  (insertion position is kept), appends otherwise. */
+    void set(const std::string &key, Json v);
+
+    /** Object lookup; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+    Json *find(const std::string &key);
+
+    /** Array append. */
+    void push(Json v);
+
+    std::size_t size() const;
+    const Json &at(std::size_t i) const { return arr.at(i); }
+    const std::vector<std::pair<std::string, Json>> &
+    members() const { return obj; }
+
+    bool boolean() const { return boolVal; }
+    double number() const
+    {
+        return kind == Type::Unsigned ? static_cast<double>(uintVal)
+                                      : numVal;
+    }
+    std::uint64_t uintValue() const { return uintVal; }
+    const std::string &str() const { return strVal; }
+
+    /** Serialize; indent > 0 pretty-prints with that step. */
+    void write(std::ostream &os, int indent = 0) const;
+    std::string dump(int indent = 0) const;
+
+    /** Write a JSON string literal (with quotes and escapes). */
+    static void writeEscaped(std::ostream &os, const std::string &s);
+
+  private:
+    void writeRec(std::ostream &os, int indent, int depth) const;
+
+    Type kind;
+    bool boolVal = false;
+    double numVal = 0;
+    std::uint64_t uintVal = 0;
+    std::string strVal;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+};
+
+} // namespace pmemspec
+
+#endif // PMEMSPEC_COMMON_JSON_HH

@@ -1,12 +1,28 @@
 #include "logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace pmemspec
 {
 namespace detail
 {
+
+namespace
+{
+
+// One process-wide sink lock: the sweep runner executes simulated
+// machines on concurrent host threads, and each fprintf below must
+// come out as one unbroken line regardless of which machine emits it.
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 format(const char *fmt, ...)
@@ -30,26 +46,36 @@ format(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

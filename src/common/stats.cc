@@ -62,6 +62,13 @@ StatGroup::addAccumulator(const std::string &name, const Accumulator *a,
     accums.push_back({name, a, desc});
 }
 
+void
+StatGroup::addHistogram(const std::string &name, const Histogram *h,
+                        const std::string &desc)
+{
+    hists.push_back({name, h, desc});
+}
+
 std::string
 StatGroup::fullName() const
 {
@@ -87,8 +94,66 @@ StatGroup::dump(std::ostream &os) const
             os << " # " << e.desc;
         os << '\n';
     }
+    for (const auto &e : hists) {
+        os << prefix << '.' << e.name << ".mean " << e.hist->mean()
+           << " (n=" << e.hist->samples() << ")";
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << '\n';
+    }
     for (const auto *child : children)
         child->dump(os);
+}
+
+void
+StatGroup::visit(const StatVisitor &fn) const
+{
+    const std::string prefix = fullName() + ".";
+    for (const auto &e : counters)
+        fn({prefix + e.name,
+            static_cast<double>(e.counter->value()), e.desc});
+    for (const auto &e : accums) {
+        fn({prefix + e.name + ".mean", e.accum->mean(), e.desc});
+        fn({prefix + e.name + ".min", e.accum->min(), e.desc});
+        fn({prefix + e.name + ".max", e.accum->max(), e.desc});
+        fn({prefix + e.name + ".samples",
+            static_cast<double>(e.accum->samples()), e.desc});
+    }
+    for (const auto &e : hists) {
+        fn({prefix + e.name + ".mean", e.hist->mean(), e.desc});
+        fn({prefix + e.name + ".samples",
+            static_cast<double>(e.hist->samples()), e.desc});
+        fn({prefix + e.name + ".underflows",
+            static_cast<double>(e.hist->underflows()), e.desc});
+        fn({prefix + e.name + ".overflows",
+            static_cast<double>(e.hist->overflows()), e.desc});
+    }
+    for (const auto *child : children)
+        child->visit(fn);
+}
+
+std::vector<StatValue>
+StatGroup::flatten() const
+{
+    std::vector<StatValue> out;
+    visit([&out](const StatValue &sv) { out.push_back(sv); });
+    return out;
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json obj = Json::object();
+    visit([&obj](const StatValue &sv) {
+        // Counters and sample counts are exact unsigned values;
+        // everything integral stays integral in the JSON.
+        const auto u = static_cast<std::uint64_t>(sv.value);
+        if (sv.value >= 0 && static_cast<double>(u) == sv.value)
+            obj.set(sv.name, Json(u));
+        else
+            obj.set(sv.name, Json(sv.value));
+    });
+    return obj;
 }
 
 void
@@ -98,6 +163,8 @@ StatGroup::resetAll()
         const_cast<Counter *>(e.counter)->reset();
     for (auto &e : accums)
         const_cast<Accumulator *>(e.accum)->reset();
+    for (auto &e : hists)
+        const_cast<Histogram *>(e.hist)->reset();
     for (auto *child : children)
         child->resetAll();
 }

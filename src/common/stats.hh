@@ -13,10 +13,13 @@
 #define PMEMSPEC_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "json.hh"
 
 namespace pmemspec
 {
@@ -101,6 +104,17 @@ class Histogram
     double sum = 0;
 };
 
+/** One enumerated statistic: fully qualified dotted name + value. */
+struct StatValue
+{
+    std::string name;
+    double value = 0;
+    std::string desc;
+};
+
+/** Visitation callback: receives every scalar of a subtree. */
+using StatVisitor = std::function<void(const StatValue &)>;
+
 /**
  * Registry of named statistics belonging to one component.
  *
@@ -117,9 +131,26 @@ class StatGroup
                     const std::string &desc = "");
     void addAccumulator(const std::string &name, const Accumulator *a,
                         const std::string &desc = "");
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc = "");
 
     /** Write "name value # desc" lines for this group and children. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Visit every statistic of this subtree as flat name→value pairs
+     * in registration order (deterministic). Accumulators expand to
+     * .mean/.min/.max/.samples, histograms to .mean/.samples/
+     * .underflows/.overflows.
+     */
+    void visit(const StatVisitor &fn) const;
+
+    /** All scalars of the subtree, in visitation order. */
+    std::vector<StatValue> flatten() const;
+
+    /** Flat JSON object mapping qualified names to values. Counter
+     *  and sample-count scalars stay integral; the rest are doubles. */
+    Json toJson() const;
 
     /** Reset every registered statistic in this subtree. */
     void resetAll();
@@ -144,8 +175,15 @@ class StatGroup
         const Accumulator *accum;
         std::string desc;
     };
+    struct HistEntry
+    {
+        std::string name;
+        const Histogram *hist;
+        std::string desc;
+    };
     std::vector<CounterEntry> counters;
     std::vector<AccumEntry> accums;
+    std::vector<HistEntry> hists;
 };
 
 /** Geometric mean of a vector of positive values; 0 if empty. */

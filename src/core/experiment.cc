@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "persistency/lowering.hh"
 
@@ -14,6 +16,15 @@ defaultMachineConfig(unsigned num_cores)
     cpu::MachineConfig m;
     m.mem.numCores = num_cores;
     return m; // every default already encodes Table 3
+}
+
+double
+ExperimentResult::statOr(const std::string &name, double fallback) const
+{
+    for (const auto &sv : stats)
+        if (sv.name == name)
+            return sv.value;
+    return fallback;
 }
 
 ExperimentResult
@@ -40,31 +51,47 @@ runExperiment(const ExperimentConfig &cfg)
     ExperimentResult res;
     res.run = m.run();
     res.throughput = res.run.throughput();
+    res.stats = m.stats().flatten();
     return res;
 }
 
-std::map<Design, double>
+NormalizedRow
+makeNormalizedRow(workloads::BenchId bench,
+                  const std::vector<Design> &designs,
+                  const std::map<Design, double> &raw, Design baseline)
+{
+    NormalizedRow row;
+    row.bench = bench;
+    row.baseline = baseline;
+    row.designs = designs;
+    row.throughput = raw;
+    const double base = raw.at(baseline);
+    panic_if(base <= 0, "zero baseline throughput");
+    for (const auto &[d, tput] : raw)
+        row.normalized[d] = tput / base;
+    return row;
+}
+
+NormalizedRow
 runNormalized(workloads::BenchId bench,
               const cpu::MachineConfig &machine,
-              const workloads::WorkloadParams &params)
+              const workloads::WorkloadParams &params,
+              const std::vector<Design> &designs)
 {
-    std::map<Design, double> out;
-    double baseline = 0;
-    for (Design d : {Design::IntelX86, Design::DPO, Design::HOPS,
-                     Design::PmemSpec}) {
+    std::vector<Design> to_run = designs;
+    const Design baseline = Design::IntelX86;
+    if (std::find(to_run.begin(), to_run.end(), baseline) ==
+        to_run.end())
+        to_run.insert(to_run.begin(), baseline);
+
+    std::map<Design, double> raw;
+    for (Design d : to_run) {
         ExperimentConfig cfg;
-        cfg.bench = bench;
-        cfg.design = d;
-        cfg.machine = machine;
+        cfg.withBench(bench).withDesign(d).withMachine(machine);
         cfg.workload = params;
-        const double tput = runExperiment(cfg).throughput;
-        if (d == Design::IntelX86) {
-            baseline = tput;
-            panic_if(baseline <= 0, "zero baseline throughput");
-        }
-        out[d] = tput / baseline;
+        raw[d] = runExperiment(cfg).throughput;
     }
-    return out;
+    return makeNormalizedRow(bench, designs, raw, baseline);
 }
 
 void

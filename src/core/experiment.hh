@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "cpu/machine.hh"
 #include "persistency/design.hh"
 #include "workloads/workload.hh"
@@ -21,13 +22,67 @@
 namespace pmemspec::core
 {
 
-/** One experiment: a benchmark on a design with machine knobs. */
+/**
+ * One experiment: a benchmark on a design with machine knobs.
+ *
+ * The named setters chain, so bench code builds a point in one
+ * expression instead of hand-assembling WorkloadParams:
+ *
+ *   ExperimentConfig()
+ *       .withBench(BenchId::Tpcc)
+ *       .withDesign(Design::PmemSpec)
+ *       .withMachine(defaultMachineConfig(8))
+ *       .withThreads(8)
+ *       .withOps(400);
+ */
 struct ExperimentConfig
 {
     workloads::BenchId bench = workloads::BenchId::ArraySwaps;
     persistency::Design design = persistency::Design::IntelX86;
     cpu::MachineConfig machine;
     workloads::WorkloadParams workload;
+
+    ExperimentConfig &
+    withBench(workloads::BenchId b)
+    {
+        bench = b;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withDesign(persistency::Design d)
+    {
+        design = d;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withMachine(const cpu::MachineConfig &m)
+    {
+        machine = m;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withThreads(unsigned n)
+    {
+        workload.numThreads = n;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withOps(std::uint64_t ops)
+    {
+        workload.opsPerThread = ops;
+        return *this;
+    }
+
+    ExperimentConfig &
+    withSeed(std::uint64_t seed)
+    {
+        workload.seed = seed;
+        return *this;
+    }
 };
 
 /** Measured outcome of one experiment. */
@@ -36,23 +91,59 @@ struct ExperimentResult
     cpu::RunResult run;
     /** FASEs per second (the figures' throughput metric). */
     double throughput = 0;
+    /** Flat snapshot of the machine's StatGroup tree, taken after the
+     *  run (the machine itself dies with runExperiment). */
+    std::vector<StatValue> stats;
+
+    /** Look up one snapshot scalar by qualified name. */
+    double statOr(const std::string &name, double fallback = 0) const;
 };
 
 /**
  * Generate the traces once, lower them for the design, and run the
- * timing machine. Deterministic in its config.
+ * timing machine. Deterministic in its config, and safe to call from
+ * concurrent host threads (every run owns its machine, event queue,
+ * RNGs and stats).
  */
 ExperimentResult runExperiment(const ExperimentConfig &cfg);
 
 /**
- * Run one benchmark across the four designs with a common machine
- * configuration; returns throughput normalised to IntelX86 (how the
- * paper reports every figure).
+ * One figure row: a benchmark's raw and normalised throughput per
+ * design (the paper normalises every figure to IntelX86).
  */
-std::map<persistency::Design, double>
+struct NormalizedRow
+{
+    workloads::BenchId bench = workloads::BenchId::ArraySwaps;
+    persistency::Design baseline = persistency::Design::IntelX86;
+    /** Designs of this row in column order. */
+    std::vector<persistency::Design> designs;
+    /** Raw FASEs per second. */
+    std::map<persistency::Design, double> throughput;
+    /** Throughput divided by the baseline design's. */
+    std::map<persistency::Design, double> normalized;
+};
+
+/** Assemble a NormalizedRow from raw per-design throughputs. */
+NormalizedRow
+makeNormalizedRow(workloads::BenchId bench,
+                  const std::vector<persistency::Design> &designs,
+                  const std::map<persistency::Design, double> &raw,
+                  persistency::Design baseline =
+                      persistency::Design::IntelX86);
+
+/**
+ * Run one benchmark across the given designs (default: all four)
+ * with a common machine configuration, serially on the calling
+ * thread. The baseline design is always measured, even when it is
+ * not in the requested list. For whole-matrix runs use the parallel
+ * runNormalizedSweep in core/sweep.hh instead.
+ */
+NormalizedRow
 runNormalized(workloads::BenchId bench,
               const cpu::MachineConfig &machine,
-              const workloads::WorkloadParams &params);
+              const workloads::WorkloadParams &params,
+              const std::vector<persistency::Design> &designs =
+                  persistency::allDesigns());
 
 /** Print the Table 3 configuration of a machine. */
 void printConfig(std::ostream &os, const cpu::MachineConfig &cfg);

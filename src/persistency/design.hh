@@ -7,6 +7,7 @@
 #define PMEMSPEC_PERSISTENCY_DESIGN_HH
 
 #include <string>
+#include <vector>
 
 namespace pmemspec::persistency
 {
@@ -42,6 +43,32 @@ designName(Design d)
       case Design::PmemSpec: return "PMEM-Spec";
     }
     return "unknown";
+}
+
+/** The four designs in the paper's figure/column order. */
+inline std::vector<Design>
+allDesigns()
+{
+    return {Design::IntelX86, Design::DPO, Design::HOPS,
+            Design::PmemSpec};
+}
+
+/** Parse a design from its paper name ("PMEM-Spec") or enumerator
+ *  spelling ("PmemSpec"); returns false on no match. */
+inline bool
+designFromName(const std::string &name, Design &out)
+{
+    for (Design d : allDesigns()) {
+        if (name == designName(d)) {
+            out = d;
+            return true;
+        }
+    }
+    if (name == "PmemSpec") {
+        out = Design::PmemSpec;
+        return true;
+    }
+    return false;
 }
 
 /** True for the designs that keep persistent updates in per-core

@@ -82,13 +82,67 @@ TEST(Experiment, NormalizedBaselineIsOne)
     workloads::WorkloadParams p;
     p.numThreads = 2;
     p.opsPerThread = 20;
-    auto norm = runNormalized(BenchId::ArraySwaps,
-                              defaultMachineConfig(2), p);
-    EXPECT_DOUBLE_EQ(norm[Design::IntelX86], 1.0);
-    for (auto [d, v] : norm) {
+    auto row = runNormalized(BenchId::ArraySwaps,
+                             defaultMachineConfig(2), p);
+    EXPECT_EQ(row.bench, BenchId::ArraySwaps);
+    EXPECT_EQ(row.baseline, Design::IntelX86);
+    EXPECT_EQ(row.designs, persistency::allDesigns());
+    EXPECT_DOUBLE_EQ(row.normalized[Design::IntelX86], 1.0);
+    for (auto [d, v] : row.normalized) {
         EXPECT_GT(v, 0.1) << persistency::designName(d);
         EXPECT_LT(v, 10.0);
+        // The raw throughputs back out of the normalised values.
+        EXPECT_DOUBLE_EQ(
+            v, row.throughput.at(d) /
+                   row.throughput.at(Design::IntelX86));
     }
+}
+
+TEST(Experiment, NormalizedSubsetAlwaysMeasuresBaseline)
+{
+    workloads::WorkloadParams p;
+    p.numThreads = 2;
+    p.opsPerThread = 10;
+    auto row = runNormalized(BenchId::Queue, defaultMachineConfig(2),
+                             p, {Design::HOPS});
+    // Requested columns only...
+    ASSERT_EQ(row.designs.size(), 1u);
+    EXPECT_EQ(row.designs[0], Design::HOPS);
+    // ...but the baseline was still run to normalise against.
+    EXPECT_GT(row.throughput.at(Design::IntelX86), 0.0);
+    EXPECT_GT(row.normalized.at(Design::HOPS), 0.0);
+}
+
+TEST(Experiment, ConfigSetterChaining)
+{
+    auto cfg = ExperimentConfig()
+                   .withBench(BenchId::Tpcc)
+                   .withDesign(Design::HOPS)
+                   .withMachine(defaultMachineConfig(4))
+                   .withThreads(4)
+                   .withOps(123)
+                   .withSeed(9);
+    EXPECT_EQ(cfg.bench, BenchId::Tpcc);
+    EXPECT_EQ(cfg.design, Design::HOPS);
+    EXPECT_EQ(cfg.machine.mem.numCores, 4u);
+    EXPECT_EQ(cfg.workload.numThreads, 4u);
+    EXPECT_EQ(cfg.workload.opsPerThread, 123u);
+    EXPECT_EQ(cfg.workload.seed, 9u);
+}
+
+TEST(Experiment, ResultCarriesStatsSnapshot)
+{
+    auto res = runExperiment(tiny(BenchId::ArraySwaps,
+                                  Design::PmemSpec));
+    ASSERT_FALSE(res.stats.empty());
+    // The machine root stat is always registered.
+    bool found = false;
+    for (const auto &sv : res.stats)
+        if (sv.name == "machine.misspecInterrupts")
+            found = true;
+    EXPECT_TRUE(found);
+    EXPECT_DOUBLE_EQ(res.statOr("machine.misspecInterrupts", -1), 0);
+    EXPECT_DOUBLE_EQ(res.statOr("no.such.stat", -7), -7);
 }
 
 TEST(Experiment, DeterministicThroughput)

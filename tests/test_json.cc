@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON writer: value types, escaping,
+ * insertion order, deterministic number formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/json.hh"
+
+using namespace pmemspec;
+
+TEST(Json, ScalarTypes)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NumberFormattingIsShortestRoundTrip)
+{
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json(0.1).dump(), "0.1");
+    EXPECT_EQ(Json(400.0).dump(), "400");
+    // Inf/NaN have no JSON spelling; null stands in.
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(
+        Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+        "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+    EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+    EXPECT_EQ(Json("line\nbreak\ttab").dump(),
+              "\"line\\nbreak\\ttab\"");
+    EXPECT_EQ(Json(std::string("ctl\x01")).dump(), "\"ctl\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndReplaces)
+{
+    Json obj = Json::object();
+    obj.set("z", Json(1));
+    obj.set("a", Json(2));
+    obj.set("z", Json(3)); // replace keeps position
+    EXPECT_EQ(obj.dump(), "{\"z\":3,\"a\":2}");
+    ASSERT_NE(obj.find("a"), nullptr);
+    EXPECT_DOUBLE_EQ(obj.find("a")->number(), 2);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+    EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(Json, ArrayAndNesting)
+{
+    Json arr = Json::array();
+    arr.push(Json(1));
+    Json inner = Json::object();
+    inner.set("k", Json("v"));
+    arr.push(std::move(inner));
+    EXPECT_EQ(arr.dump(), "[1,{\"k\":\"v\"}]");
+    EXPECT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr.at(1).find("k")->str(), "v");
+}
+
+TEST(Json, PrettyPrint)
+{
+    Json obj = Json::object();
+    obj.set("a", Json(1));
+    EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1\n}");
+    Json empty = Json::object();
+    EXPECT_EQ(empty.dump(2), "{}");
+}

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -115,6 +116,70 @@ TEST(StatGroup, ResetAllRecurses)
     root.resetAll();
     EXPECT_EQ(a.value(), 0u);
     EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, VisitEnumeratesFlatNameValuePairs)
+{
+    StatGroup root("machine");
+    StatGroup child("core0", &root);
+    Counter c;
+    c += 5;
+    root.addCounter("fases", &c, "committed");
+    Accumulator a;
+    a.sample(2);
+    a.sample(4);
+    child.addAccumulator("occ", &a);
+    Histogram h(0, 10, 2);
+    h.sample(1);
+    h.sample(100);
+    child.addHistogram("lat", &h);
+
+    std::map<std::string, double> seen;
+    root.visit([&](const StatValue &sv) { seen[sv.name] = sv.value; });
+
+    EXPECT_DOUBLE_EQ(seen.at("machine.fases"), 5);
+    EXPECT_DOUBLE_EQ(seen.at("machine.core0.occ.mean"), 3);
+    EXPECT_DOUBLE_EQ(seen.at("machine.core0.occ.min"), 2);
+    EXPECT_DOUBLE_EQ(seen.at("machine.core0.occ.max"), 4);
+    EXPECT_DOUBLE_EQ(seen.at("machine.core0.occ.samples"), 2);
+    EXPECT_DOUBLE_EQ(seen.at("machine.core0.lat.samples"), 2);
+    EXPECT_DOUBLE_EQ(seen.at("machine.core0.lat.overflows"), 1);
+    EXPECT_DOUBLE_EQ(seen.at("machine.core0.lat.underflows"), 0);
+
+    // flatten() sees the same set, in deterministic order.
+    auto flat = root.flatten();
+    EXPECT_EQ(flat.size(), seen.size());
+    EXPECT_EQ(flat.front().name, "machine.fases");
+    auto flat2 = root.flatten();
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        EXPECT_EQ(flat[i].name, flat2[i].name);
+}
+
+TEST(StatGroup, ToJsonKeepsCountersIntegral)
+{
+    StatGroup root("m");
+    Counter c;
+    c += 3;
+    root.addCounter("events", &c);
+    Accumulator a;
+    a.sample(0.5);
+    root.addAccumulator("ratio", &a);
+
+    const Json j = root.toJson();
+    ASSERT_NE(j.find("m.events"), nullptr);
+    EXPECT_EQ(j.find("m.events")->dump(), "3");
+    ASSERT_NE(j.find("m.ratio.mean"), nullptr);
+    EXPECT_EQ(j.find("m.ratio.mean")->dump(), "0.5");
+}
+
+TEST(StatGroup, ResetAllClearsHistograms)
+{
+    StatGroup root("r");
+    Histogram h(0, 4, 2);
+    h.sample(1);
+    root.addHistogram("h", &h);
+    root.resetAll();
+    EXPECT_EQ(h.samples(), 0u);
 }
 
 TEST(Geomean, KnownValues)
