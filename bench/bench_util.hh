@@ -12,7 +12,18 @@
  *   --jobs N         sweep worker threads (0/default = host cores)
  *   --json PATH      write machine-readable results (BENCH_*.json)
  *   --designs A,B    subset of IntelX86,DPO,HOPS,PMEM-Spec
+ *   --trace FLAGS    event tracing (PersistPath,PmController,
+ *                    SpecBuffer,Core,FaseRuntime,FaultInject or "all")
+ *   --trace-out P    export the trace (.json: Chrome trace-event
+ *                    format, else the compact binary log); implies
+ *                    --trace all when no flags were given
+ *   --trace-ring N   per-core ring capacity in events (default 64K);
+ *                    raise it for a lossless checker-grade capture
+ *   --flight-recorder  bounded always-on recorder, dumped on panics
+ *                    and misspeculation traps
  *   --help           usage
+ *
+ * All flags also accept the --flag=value spelling.
  */
 
 #ifndef PMEMSPEC_BENCH_BENCH_UTIL_HH
@@ -27,6 +38,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
 
@@ -48,6 +60,8 @@ struct BenchOptions
     std::string jsonPath;
     std::vector<persistency::Design> designs =
         persistency::allDesigns();
+    /** Event tracing / flight recorder (off unless requested). */
+    trace::Config trace;
 
     static BenchOptions
     parse(int argc, char **argv,
@@ -56,8 +70,21 @@ struct BenchOptions
         BenchOptions opt;
         opt.ops = fallback_ops;
         for (int i = 1; i < argc; ++i) {
-            const std::string arg = argv[i];
-            auto value = [&](const char *flag) -> const char * {
+            std::string arg = argv[i];
+            // Accept both "--flag value" and "--flag=value".
+            std::string inline_val;
+            bool has_inline = false;
+            if (arg.rfind("--", 0) == 0) {
+                const std::size_t eq = arg.find('=');
+                if (eq != std::string::npos) {
+                    inline_val = arg.substr(eq + 1);
+                    arg.resize(eq);
+                    has_inline = true;
+                }
+            }
+            auto value = [&](const char *flag) -> std::string {
+                if (has_inline)
+                    return inline_val;
                 if (++i >= argc)
                     usageExit(argv[0], 1, "missing value for %s",
                               flag);
@@ -67,15 +94,29 @@ struct BenchOptions
                 usageExit(argv[0], 0, nullptr);
             } else if (arg == "--ops") {
                 opt.ops = parseCount(argv[0], "--ops",
-                                     value("--ops"));
+                                     value("--ops").c_str());
             } else if (arg == "--jobs") {
                 opt.jobs = static_cast<unsigned>(parseCount(
-                    argv[0], "--jobs", value("--jobs")));
+                    argv[0], "--jobs", value("--jobs").c_str()));
             } else if (arg == "--json") {
                 opt.jsonPath = value("--json");
             } else if (arg == "--designs") {
                 opt.designs = parseDesigns(argv[0],
                                            value("--designs"));
+            } else if (arg == "--trace") {
+                const std::string list = value("--trace");
+                if (!trace::parseFlags(list, opt.trace.flags))
+                    usageExit(argv[0], 1,
+                              "unknown trace flag in '%s'",
+                              list.c_str());
+            } else if (arg == "--trace-out") {
+                opt.trace.outPath = value("--trace-out");
+            } else if (arg == "--trace-ring") {
+                opt.trace.ringEntries = parseCount(
+                    argv[0], "--trace-ring",
+                    value("--trace-ring").c_str());
+            } else if (arg == "--flight-recorder") {
+                opt.trace.flightRecorder = true;
             } else if (i == 1 && !arg.empty() &&
                        arg.find_first_not_of("0123456789") ==
                            std::string::npos) {
@@ -86,6 +127,10 @@ struct BenchOptions
                           arg.c_str());
             }
         }
+        // An export destination with no selected components means
+        // "trace everything".
+        if (!opt.trace.outPath.empty() && opt.trace.flags == 0)
+            opt.trace.flags = trace::FlagAll;
         return opt;
     }
 
@@ -104,7 +149,10 @@ struct BenchOptions
         std::fprintf(
             code ? stderr : stdout,
             "usage: %s [ops_per_thread] [--ops N] [--jobs N]\n"
-            "       [--json PATH] [--designs A,B,...] [--help]\n"
+            "       [--json PATH] [--designs A,B,...]\n"
+            "       [--trace FLAGS] [--trace-out PATH] "
+            "[--trace-ring N]\n"
+            "       [--flight-recorder] [--help]\n"
             "\n"
             "  --ops N        FASEs per thread\n"
             "  --jobs N       parallel sweep workers (default: host "
@@ -112,7 +160,20 @@ struct BenchOptions
             "  --json PATH    write machine-readable results "
             "(pmemspec-bench-v1)\n"
             "  --designs L    comma list of IntelX86,DPO,HOPS,"
-            "PMEM-Spec\n",
+            "PMEM-Spec\n"
+            "  --trace FLAGS  comma list of PersistPath,PmController,"
+            "SpecBuffer,\n"
+            "                 Core,FaseRuntime,FaultInject, or 'all'\n"
+            "  --trace-out P  export the trace to P (.json: Chrome "
+            "trace-event\n"
+            "                 JSON; else compact binary); implies "
+            "--trace all\n"
+            "  --trace-ring N per-core ring capacity in events "
+            "(default 65536);\n"
+            "                 the offline checker needs a lossless "
+            "(drop-free) trace\n"
+            "  --flight-recorder  always-on bounded recorder, dumped "
+            "on faults\n",
             prog);
         std::exit(code);
     }
@@ -193,6 +254,26 @@ printRow(const core::NormalizedRow &row)
     printRow(workloads::benchName(row.bench), row);
 }
 
+/** Mean over every snapshot stat whose qualified name ends with
+ *  `suffix` (e.g. ".occupancyDist.p99" across all persist-path
+ *  lanes); `fallback` when no stat matches. */
+inline double
+meanStatSuffix(const core::ExperimentResult &res,
+               const std::string &suffix, double fallback = 0)
+{
+    double sum = 0;
+    unsigned n = 0;
+    for (const auto &sv : res.stats) {
+        if (sv.name.size() >= suffix.size() &&
+            sv.name.compare(sv.name.size() - suffix.size(),
+                            suffix.size(), suffix) == 0) {
+            sum += sv.value;
+            ++n;
+        }
+    }
+    return n ? sum / n : fallback;
+}
+
 /** Fold per-design geomeans over the rows into one synthetic row. */
 inline core::NormalizedRow
 geomeanRow(const std::vector<core::NormalizedRow> &rows)
@@ -245,6 +326,14 @@ finishJson(core::ResultSink &sink, const BenchOptions &opt)
     for (auto d : opt.designs)
         designs.push(Json(persistency::designName(d)));
     sink.setMeta("designs", std::move(designs));
+    if (opt.trace.enabled()) {
+        Json t = Json::object();
+        t.set("flags", Json(trace::flagsToString(opt.trace.flags)));
+        t.set("flight_recorder", Json(opt.trace.flightRecorder));
+        if (!opt.trace.outPath.empty())
+            t.set("out", Json(opt.trace.outPath));
+        sink.setMeta("trace", std::move(t));
+    }
     sink.writeFile(opt.jsonPath);
 }
 

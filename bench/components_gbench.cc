@@ -13,7 +13,9 @@
 
 #include "common/bloom_filter.hh"
 #include "common/rng.hh"
+#include "common/trace.hh"
 #include "mem/cache.hh"
+#include "mem/persist_path.hh"
 #include "pmds/pm_rbtree.hh"
 #include "runtime/fase_runtime.hh"
 #include "runtime/undo_log.hh"
@@ -67,6 +69,46 @@ BM_CacheInsertEvict(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheInsertEvict);
+
+/**
+ * Persist-path hot loop (send -> pump -> deliver) under three trace
+ * attachments, selected by the benchmark argument:
+ *
+ *   0  no manager wired (the pre-tracing baseline),
+ *   1  manager wired but the PersistPath flag disabled -- the cost of
+ *      the PMEMSPEC_TRACE null/wants gate on the hot path,
+ *   2  tracing on (events recorded into the ring).
+ *
+ * CI asserts variant 1 is within 1% of variant 0: disabled trace
+ * points must be free on the persist-path hot loop.
+ */
+static void
+BM_PersistPathSendDeliver(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    StatGroup stats{"bench"};
+    std::uint64_t delivered = 0;
+    mem::PersistPath path(eq, &stats, 0, nsToTicks(20), 8,
+                          [&](CoreId, Addr, std::optional<SpecId>) {
+                              ++delivered;
+                              return true;
+                          });
+    trace::Config tcfg;
+    tcfg.flightRecorder = false;
+    tcfg.flags =
+        state.range(0) == 2 ? std::uint32_t{trace::FlagPersistPath} : 0u;
+    trace::Manager mgr(tcfg, 1);
+    if (state.range(0) != 0)
+        path.setTraceManager(&mgr, 0);
+    Addr a = 0;
+    for (auto _ : state) {
+        path.send(a, std::nullopt);
+        a += blockBytes;
+        eq.run();
+    }
+    benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_PersistPathSendDeliver)->Arg(0)->Arg(1)->Arg(2);
 
 static void
 BM_BloomInsertCheckRemove(benchmark::State &state)

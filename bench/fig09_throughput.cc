@@ -17,7 +17,8 @@ main(int argc, char **argv)
     using namespace pmemspec::bench;
 
     const auto opt = BenchOptions::parse(argc, argv);
-    const auto machine = core::defaultMachineConfig(8);
+    auto machine = core::defaultMachineConfig(8);
+    machine.trace = opt.trace;
     core::SweepRunner runner(opt.jobs);
     core::ResultSink sink("fig09_throughput");
 

@@ -35,6 +35,7 @@ main(int argc, char **argv)
                 .withDesign(persistency::Design::PmemSpec)
                 .withMachine(core::defaultMachineConfig(8));
             p.cfg.machine.mem.specBufferEntries = size;
+            p.cfg.machine.trace = opt.trace;
             // The sweep needs LLC eviction pressure (the buffer only
             // monitors evicted blocks); our scaled-down footprints
             // are cache-resident, so shrink the LLC proportionally
@@ -49,36 +50,52 @@ main(int argc, char **argv)
 
     std::printf("# Figure 11: speculation buffer size sweep "
                 "(8 cores, PMEM-Spec)\n");
-    std::printf("%-8s %14s %14s %12s\n", "entries", "geomean-tput",
-                "vs-16-entry", "full-pauses");
+    std::printf("%-8s %14s %14s %12s %12s\n", "entries",
+                "geomean-tput", "vs-16-entry", "full-pauses",
+                "resid-p99");
 
     std::map<unsigned, double> geomean_by_size;
     std::map<unsigned, std::uint64_t> pauses_by_size;
+    // Mean speculation-window residency quantiles (ns) across the
+    // benchmarks, from the buffer's windowResidency histogram.
+    std::map<unsigned, std::map<std::string, double>> resid_by_size;
+    const std::vector<std::string> quantiles = {"p50", "p90", "p99"};
     std::size_t idx = 0;
     for (unsigned size : sizes) {
         std::vector<double> tputs;
         std::uint64_t pauses = 0;
+        std::map<std::string, double> resid;
         for (std::size_t b = 0; b < benches.size(); ++b) {
             const auto &r = results[idx++];
             fatal_if(!r.ok(), "point %s failed: %s", r.id.c_str(),
                      r.error.c_str());
             tputs.push_back(r.result.throughput);
             pauses += r.result.run.specBufFullPauses;
+            for (const auto &q : quantiles)
+                resid[q] += r.result.statOr(
+                    "machine.memsys.pmc.specbuf.windowResidency." + q);
         }
+        for (const auto &q : quantiles)
+            resid[q] /= static_cast<double>(benches.size());
         geomean_by_size[size] = geomean(tputs);
         pauses_by_size[size] = pauses;
+        resid_by_size[size] = std::move(resid);
     }
     const double ref = geomean_by_size[16];
     for (unsigned size : sizes) {
-        std::printf("%-8u %14.3e %14.3f %12llu\n", size,
+        std::printf("%-8u %14.3e %14.3f %12llu %12.1f\n", size,
                     geomean_by_size[size], geomean_by_size[size] / ref,
                     static_cast<unsigned long long>(
-                        pauses_by_size[size]));
+                        pauses_by_size[size]),
+                    resid_by_size[size]["p99"]);
         Json row = Json::object();
         row.set("entries", Json(size));
         row.set("geomean_throughput", Json(geomean_by_size[size]));
         row.set("vs_16_entry", Json(geomean_by_size[size] / ref));
         row.set("full_pauses", Json(pauses_by_size[size]));
+        for (const auto &q : quantiles)
+            row.set("residency_ns_" + q,
+                    Json(resid_by_size[size][q]));
         sink.addRow("specbuf", std::move(row));
     }
     finishJson(sink, opt);

@@ -51,6 +51,7 @@ main(int argc, char **argv)
                 p.cfg.machine.mem.persistPathLatency = nsToTicks(lat);
                 // The ring-bus window scales with the idle latency.
                 p.cfg.machine.mem.speculationWindow = 0;
+                p.cfg.machine.trace = opt.trace;
                 p.cfg.workload = params(8, opt.ops);
                 points.push_back(std::move(p));
             }
@@ -71,15 +72,27 @@ main(int argc, char **argv)
                 "geomean normalised to IntelX86\n");
     std::printf("%-14s %10s %10s\n", "latency(ns)", "HOPS",
                 "PMEM-Spec");
+    const std::vector<std::string> quantiles = {"p50", "p90", "p99"};
     for (unsigned lat : lats) {
         std::map<Design, double> gm;
+        // Mean persist-path FIFO occupancy quantiles across the
+        // PMEM-Spec points' per-lane occupancyDist histograms.
+        std::map<std::string, double> occ;
         for (Design d : designs) {
             std::vector<double> norms;
-            for (auto b : benches)
-                norms.push_back(results[idx++].result.throughput /
-                                baseline[b]);
+            for (auto b : benches) {
+                const auto &r = results[idx++];
+                norms.push_back(r.result.throughput / baseline[b]);
+                if (d == Design::PmemSpec) {
+                    for (const auto &q : quantiles)
+                        occ[q] += meanStatSuffix(
+                            r.result, ".occupancyDist." + q);
+                }
+            }
             gm[d] = geomean(norms);
         }
+        for (const auto &q : quantiles)
+            occ[q] /= static_cast<double>(benches.size());
         std::printf("%-14u %10.3f %10.3f\n", lat, gm[Design::HOPS],
                     gm[Design::PmemSpec]);
         std::fflush(stdout);
@@ -87,6 +100,8 @@ main(int argc, char **argv)
         row.set("latency_ns", Json(lat));
         row.set("HOPS", Json(gm[Design::HOPS]));
         row.set("PMEM-Spec", Json(gm[Design::PmemSpec]));
+        for (const auto &q : quantiles)
+            row.set("pmemspec_path_occupancy_" + q, Json(occ[q]));
         sink.addRow("pathlat", std::move(row));
     }
     finishJson(sink, opt);

@@ -16,6 +16,7 @@
 
 #include "bench_util.hh"
 #include "cpu/machine.hh"
+#include "observe/trace_export.hh"
 
 namespace
 {
@@ -61,6 +62,7 @@ main(int argc, char **argv)
             .withDesign(persistency::Design::PmemSpec)
             .withMachine(core::defaultMachineConfig(8));
         p.cfg.workload = params(8, opt.ops);
+        p.cfg.machine.trace = opt.trace;
         points.push_back(std::move(p));
     }
     const auto results = runner.run(points);
@@ -100,10 +102,18 @@ main(int argc, char **argv)
         cfg.mem.llcWays = 1;
         cfg.mem.persistPathLatency = nsToTicks(lats[i]);
         cfg.mem.speculationWindow = 4 * nsToTicks(lats[i]);
+        cfg.trace = opt.trace;
+        cfg.trace.label = "synthetic-lat" + std::to_string(lats[i]);
         cpu::Machine m(cfg);
         std::vector<cpu::Trace> traces{staleReadKernel()};
         m.setTraces(std::move(traces));
         kernel_misspecs[i] = m.run().loadMisspecs;
+        // This path bypasses runExperiment, so export manually: the
+        // synthetic kernel is the one workload here that provokes
+        // misspeculation, i.e. the most interesting checker input.
+        if (m.traceManager() &&
+            !m.traceManager()->config().outPath.empty())
+            observe::exportTraceFile(*m.traceManager());
     });
 
     std::printf("\n# Synthetic stale-read kernel vs persist-path "

@@ -26,7 +26,14 @@
  * Exits non-zero if any oracle fails, so it can serve as a CI gate.
  * The fuzz seed is printed on every failure so any run reproduces:
  *
- *   $ ./chaos [--seed N] [--ops N]
+ *   $ ./chaos [--seed N] [--ops N] [--trace-out P]
+ *
+ * With --trace-out, the injected-misspeculation stage records every
+ * automaton transition and spec-ID order check into per-demo binary
+ * trace logs (P gets a per-demo label inserted), ready for the
+ * offline trace checker: `trace_check chaos.*.bin` must report zero
+ * disagreements between the hardware detector and the re-derived
+ * verdicts.
  */
 
 #include <cstdio>
@@ -36,10 +43,12 @@
 #include <string>
 
 #include "common/rng.hh"
+#include "common/trace.hh"
 #include "faultinject/crash_explorer.hh"
 #include "faultinject/fault_injector.hh"
 #include "faultinject/fault_plan.hh"
 #include "faultinject/pmds_workloads.hh"
+#include "observe/trace_export.hh"
 #include "runtime/fase_runtime.hh"
 #include "runtime/virtual_os.hh"
 
@@ -49,6 +58,9 @@ namespace
 {
 
 std::uint64_t activeSeed = 2026;
+
+/** --trace-out destination for the misspec demos ("" disables). */
+std::string traceOut;
 
 /** Announce the reproduction recipe; call on every oracle failure. */
 void
@@ -70,6 +82,19 @@ demoMisspec(runtime::RecoveryPolicy policy, faultinject::FaultKind kind,
     runtime::VirtualOs os;
     runtime::FaseRuntime rt(pm, os, 1, policy);
     faultinject::FaultInjector inj(pm, os);
+    // Checker-grade event capture of the campaign when requested.
+    std::unique_ptr<trace::Manager> mgr;
+    if (!traceOut.empty()) {
+        trace::Config tcfg;
+        tcfg.flags = trace::FlagSpecBuffer | trace::FlagPmController |
+                     trace::FlagFaultInject;
+        tcfg.outPath = traceOut;
+        tcfg.label = std::string(what) + "-" +
+                     (policy == runtime::RecoveryPolicy::Lazy
+                          ? "lazy" : "eager");
+        mgr = std::make_unique<trace::Manager>(tcfg, 0);
+        inj.setTraceManager(mgr.get());
+    }
     const Addr cell = pm.alloc(8, 64);
     pm.writeU64(cell, 1);
     pm.persistAll();
@@ -79,6 +104,8 @@ demoMisspec(runtime::RecoveryPolicy policy, faultinject::FaultKind kind,
     rt.runFase(0, [&](runtime::Transaction &tx) {
         tx.writeU64(cell, 2);
     });
+    if (mgr)
+        observe::exportTraceFile(*mgr);
 
     const bool ok = rt.fasesAborted() == 1 && rt.fasesCommitted() == 1 &&
                     os.delivered() == 1 && pm.readU64(cell) == 2;
@@ -289,9 +316,12 @@ main(int argc, char **argv)
             activeSeed = std::strtoull(v, nullptr, 0);
         } else if (const char *v = value("--ops")) {
             fuzz_rounds = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = value("--trace-out")) {
+            traceOut = v;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--seed N] [--ops N]\n", argv[0]);
+                         "usage: %s [--seed N] [--ops N] "
+                         "[--trace-out P]\n", argv[0]);
             return 2;
         }
     }

@@ -1,6 +1,8 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <cstring>
 #include <mutex>
 #include <vector>
 
@@ -22,7 +24,73 @@ sinkMutex()
     return m;
 }
 
+LogLevel
+levelFromEnv()
+{
+    const char *v = std::getenv("PMEMSPEC_LOG_LEVEL");
+    if (!v)
+        return LogLevel::Info;
+    if (!std::strcmp(v, "silent") || !std::strcmp(v, "0"))
+        return LogLevel::Silent;
+    if (!std::strcmp(v, "warn") || !std::strcmp(v, "1"))
+        return LogLevel::Warn;
+    return LogLevel::Info;
+}
+
+std::atomic<int> &
+levelCell()
+{
+    // -1: not yet read from the environment.
+    static std::atomic<int> level{-1};
+    return level;
+}
+
+std::atomic<PanicHook> &
+panicHookCell()
+{
+    static std::atomic<PanicHook> hook{nullptr};
+    return hook;
+}
+
 } // namespace
+
+LogLevel
+logLevel()
+{
+    int lv = levelCell().load(std::memory_order_relaxed);
+    if (lv < 0) {
+        lv = static_cast<int>(levelFromEnv());
+        levelCell().store(lv, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(lv);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelCell().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void
+refreshLogLevelFromEnv()
+{
+    levelCell().store(static_cast<int>(levelFromEnv()),
+                      std::memory_order_relaxed);
+}
+
+void
+setPanicHook(PanicHook hook)
+{
+    panicHookCell().store(hook, std::memory_order_relaxed);
+}
+
+void
+rawSinkWrite(std::FILE *out, const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fflush(out);
+}
 
 std::string
 format(const char *fmt, ...)
@@ -51,6 +119,10 @@ panicImpl(const char *file, int line, const std::string &msg)
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
+    // Give the flight recorder (if one is armed on this thread) a
+    // chance to show the events leading up to the invariant failure.
+    if (PanicHook hook = panicHookCell().load(std::memory_order_relaxed))
+        hook();
     std::abort();
 }
 
@@ -68,6 +140,8 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -75,6 +149,8 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }

@@ -6,11 +6,18 @@
  * fatal()  -- the user supplied an impossible configuration; exit(1).
  * warn()   -- something is modelled approximately; keep running.
  * inform() -- neutral progress information.
+ *
+ * warn() and inform() honor the PMEMSPEC_LOG_LEVEL environment
+ * variable ("silent"/"0" suppresses both, "warn"/"1" suppresses
+ * inform, "info"/"2" -- the default -- shows everything), read once at
+ * first use and routed through the same mutexed sinks. warn_once()
+ * fires at most once per call site, for hot paths.
  */
 
 #ifndef PMEMSPEC_COMMON_LOGGING_HH
 #define PMEMSPEC_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,6 +39,31 @@ void informImpl(const std::string &msg);
 std::string format(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** Verbosity, from PMEMSPEC_LOG_LEVEL (default Info). */
+enum class LogLevel
+{
+    Silent = 0, ///< suppress warn() and inform()
+    Warn = 1,   ///< suppress inform()
+    Info = 2,   ///< everything
+};
+
+LogLevel logLevel();
+
+/** Programmatic override (tests; wins over the env var). */
+void setLogLevel(LogLevel level);
+
+/** Re-read PMEMSPEC_LOG_LEVEL, dropping any override. */
+void refreshLogLevelFromEnv();
+
+/** Pre-abort hook: the tracing layer installs a flight-recorder dump
+ *  here so panic() can show how the machine got into the bad state. */
+using PanicHook = void (*)();
+void setPanicHook(PanicHook hook);
+
+/** Write a preformatted block to `out` under the process-wide sink
+ *  lock (one unbroken unit even with concurrent sweep workers). */
+void rawSinkWrite(std::FILE *out, const std::string &text);
+
 } // namespace detail
 
 } // namespace pmemspec
@@ -50,6 +82,15 @@ std::string format(const char *fmt, ...)
 #define inform(...)                                                      \
     ::pmemspec::detail::informImpl(                                      \
         ::pmemspec::detail::format(__VA_ARGS__))
+
+/** warn(), but at most once per call site (hot paths). */
+#define warn_once(...)                                                   \
+    do {                                                                 \
+        static std::atomic<bool> pmemspec_warned_{false};                \
+        if (!pmemspec_warned_.exchange(true,                             \
+                                       std::memory_order_relaxed))       \
+            warn(__VA_ARGS__);                                           \
+    } while (0)
 
 /** panic() unless the given simulator invariant holds. */
 #define panic_if(cond, ...)                                              \

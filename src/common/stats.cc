@@ -33,6 +33,36 @@ Histogram::sample(double v)
     }
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // Nearest-rank with in-bucket interpolation: find the bucket that
+    // holds the ceil(q * total)-th sample (1-based).
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (target == 0)
+        target = 1;
+    std::uint64_t cum = underflow;
+    if (cum >= target)
+        return lo;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        if (cum + bins[i] >= target) {
+            const double frac =
+                static_cast<double>(target - cum) /
+                static_cast<double>(bins[i]);
+            return lo + (static_cast<double>(i) + frac) * width;
+        }
+        cum += bins[i];
+    }
+    return hi;
+}
+
 void
 Histogram::reset()
 {
@@ -127,6 +157,9 @@ StatGroup::visit(const StatVisitor &fn) const
             static_cast<double>(e.hist->underflows()), e.desc});
         fn({prefix + e.name + ".overflows",
             static_cast<double>(e.hist->overflows()), e.desc});
+        fn({prefix + e.name + ".p50", e.hist->quantile(0.50), e.desc});
+        fn({prefix + e.name + ".p90", e.hist->quantile(0.90), e.desc});
+        fn({prefix + e.name + ".p99", e.hist->quantile(0.99), e.desc});
     }
     for (const auto *child : children)
         child->visit(fn);

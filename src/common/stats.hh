@@ -93,6 +93,14 @@ class Histogram
     std::uint64_t samples() const { return total; }
     double mean() const { return total ? sum / total : 0; }
 
+    /**
+     * Approximate q-quantile (q in [0, 1]) by linear interpolation
+     * within the owning bucket. Underflow mass sits at lo, overflow
+     * mass at hi (the clamped tails of the recorded range); 0 with no
+     * samples.
+     */
+    double quantile(double q) const;
+
   private:
     double lo;
     double hi;
@@ -141,7 +149,7 @@ class StatGroup
      * Visit every statistic of this subtree as flat name→value pairs
      * in registration order (deterministic). Accumulators expand to
      * .mean/.min/.max/.samples, histograms to .mean/.samples/
-     * .underflows/.overflows.
+     * .underflows/.overflows/.p50/.p90/.p99.
      */
     void visit(const StatVisitor &fn) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "observe/trace_export.hh"
 #include "persistency/lowering.hh"
 
 namespace pmemspec::core
@@ -52,6 +53,12 @@ runExperiment(const ExperimentConfig &cfg)
     res.run = m.run();
     res.throughput = res.run.throughput();
     res.stats = m.stats().flatten();
+    if (trace::Manager *tm = m.traceManager()) {
+        res.traceEvents = tm->recorded();
+        res.traceDropped = tm->dropped();
+        if (!tm->config().outPath.empty())
+            res.traceFile = observe::exportTraceFile(*tm);
+    }
     return res;
 }
 

@@ -83,6 +83,14 @@ struct ExperimentConfig
         workload.seed = seed;
         return *this;
     }
+
+    /** Event tracing / flight recorder for the run (trace.hh). */
+    ExperimentConfig &
+    withTrace(const trace::Config &t)
+    {
+        machine.trace = t;
+        return *this;
+    }
 };
 
 /** Measured outcome of one experiment. */
@@ -94,6 +102,14 @@ struct ExperimentResult
     /** Flat snapshot of the machine's StatGroup tree, taken after the
      *  run (the machine itself dies with runExperiment). */
     std::vector<StatValue> stats;
+
+    /** Trace metadata (zero / empty when tracing was off): events
+     *  retained, events dropped on full rings, and the file the
+     *  stream was exported to ("" when no outPath was configured or
+     *  the export failed). */
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceDropped = 0;
+    std::string traceFile;
 
     /** Look up one snapshot scalar by qualified name. */
     double statOr(const std::string &name, double fallback = 0) const;

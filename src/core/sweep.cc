@@ -82,11 +82,17 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
     for (std::size_t i = 0; i < points.size(); ++i) {
         results[i].id = points[i].id;
         results[i].cfg = points[i].cfg;
+        // Per-point trace exports must not clobber each other: label
+        // every unlabelled point with its id (the exporter inserts it
+        // before the outPath extension, sanitizing separators).
+        auto &tc = results[i].cfg.machine.trace;
+        if (!tc.outPath.empty() && tc.label.empty())
+            tc.label = points[i].id;
     }
     std::vector<std::string> errors;
     forEach(points.size(),
             [&](std::size_t i) {
-                results[i].result = runExperiment(points[i].cfg);
+                results[i].result = runExperiment(results[i].cfg);
             },
             &errors);
     for (std::size_t i = 0; i < points.size(); ++i)
@@ -188,6 +194,14 @@ ResultSink::addPoint(const SweepResult &r)
             stats.set(sv.name, Json(sv.value));
     }
     p.set("stats", std::move(stats));
+    if (r.cfg.machine.trace.enabled()) {
+        Json t = Json::object();
+        t.set("events", Json(std::uint64_t{r.result.traceEvents}));
+        t.set("dropped", Json(std::uint64_t{r.result.traceDropped}));
+        if (!r.result.traceFile.empty())
+            t.set("file", Json(r.result.traceFile));
+        p.set("trace", std::move(t));
+    }
     points.push(std::move(p));
 }
 

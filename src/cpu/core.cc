@@ -60,8 +60,11 @@ Core::start()
 void
 Core::pauseUntil(Tick t)
 {
-    if (t > pausedUntil)
+    if (t > pausedUntil) {
         pausedUntil = t;
+        PMEMSPEC_TRACE(traceMgr, FlagCore, trace::EventKind::CorePause,
+                       curTick(), id, 0, {.arg = t});
+    }
 }
 
 std::function<void()>
@@ -311,6 +314,9 @@ Core::execute(const TraceInstr &instr)
         insideFase = true;
         faseBeginPc = pc;
         faseBeginTick = curTick();
+        PMEMSPEC_TRACE(traceMgr, FlagCore,
+                       trace::EventKind::CoreFaseBegin, curTick(), id, 0,
+                       {.arg = pc});
         ++pc;
         return true;
       }
@@ -339,6 +345,9 @@ Core::closeFase()
     ++fases;
     faseLatency.sample(
         static_cast<double>(curTick() - faseBeginTick) / ticksPerNs);
+    PMEMSPEC_TRACE(traceMgr, FlagCore, trace::EventKind::CoreFaseCommit,
+                   curTick(), id, 0,
+                   {.arg = (curTick() - faseBeginTick) / ticksPerNs});
 }
 
 void
@@ -487,6 +496,8 @@ Core::abortCurrentFase(Tick penalty)
     ++aborts;
     state = State::Aborting;
     abortPenalty = penalty;
+    PMEMSPEC_TRACE(traceMgr, FlagCore, trace::EventKind::CoreFaseAbort,
+                   curTick(), id, 0, {.arg = penalty});
     // A FASE blocked on a lock abandons the wait.
     if (waitingLockId) {
         locks.cancelWait(*waitingLockId, id);

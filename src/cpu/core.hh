@@ -32,6 +32,7 @@
 #include <optional>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "cpu/lock_table.hh"
 #include "cpu/trace.hh"
@@ -92,6 +93,9 @@ class Core : public sim::SimObject
     void abortCurrentFase(Tick penalty);
 
     bool inFase() const { return insideFase; }
+
+    /** Attach the machine's event recorder. */
+    void setTraceManager(trace::Manager *mgr) { traceMgr = mgr; }
 
     Counter instructions;
     Counter fases;
@@ -201,6 +205,8 @@ class Core : public sim::SimObject
     std::optional<unsigned> waitingLockId;
     Tick abortPenalty = 0;
     std::uint64_t generation = 0;
+
+    trace::Manager *traceMgr = nullptr;
 };
 
 } // namespace pmemspec::cpu

@@ -10,13 +10,28 @@ using persistency::Design;
 Machine::Machine(const MachineConfig &cfg_)
     : cfg(cfg_), root("machine")
 {
+    if (cfg.trace.enabled()) {
+        traceMgr = std::make_unique<trace::Manager>(cfg.trace,
+                                                    cfg.mem.numCores);
+        traceMgr->meta.design = persistency::designName(cfg.design);
+        traceMgr->meta.flags = cfg.trace.flags;
+        traceMgr->meta.specWindow = cfg.mem.effectiveSpecWindow();
+        traceMgr->meta.specEntries = cfg.mem.specBufferEntries;
+        traceMgr->meta.numCores = cfg.mem.numCores;
+        traceMgr->meta.specAutomaton = cfg.design == Design::PmemSpec;
+        traceMgr->setClock([this] { return eq.now(); });
+        traceMgr->makeCurrent();
+    }
+
     memsys = std::make_unique<mem::MemorySystem>(eq, &root, cfg.mem,
                                                  cfg.design);
     locks = std::make_unique<LockTable>(eq, &root);
+    memsys->setTraceManager(traceMgr.get());
 
     for (CoreId c = 0; c < cfg.mem.numCores; ++c) {
         cores.push_back(std::make_unique<Core>(eq, &root, c, cfg.core,
                                                *memsys, *locks));
+        cores.back()->setTraceManager(traceMgr.get());
         cores.back()->setSpecIdSource([this] {
             // spec-assign: read the counter, then increment -- the
             // atomicity is provided by the lock the thread holds.
@@ -70,8 +85,12 @@ Machine::onMisspeculation(Addr addr, mem::MisspecKind kind)
 void
 Machine::deliverMisspecSignal(Addr fault_addr)
 {
-    (void)fault_addr;
     ++misspecInterrupts;
+    PMEMSPEC_TRACE(traceMgr.get(), FlagFaseRuntime,
+                   trace::EventKind::OsTrap, eq.now(), trace::kNoCore,
+                   fault_addr, {.arg = misspecInterrupts.value()});
+    if (traceMgr && traceMgr->config().flightRecorder)
+        traceMgr->dump(stderr);
     // After the relay latency, every thread currently inside a FASE
     // aborts and re-executes (conservative rollback, Section 6.2).
     eq.scheduleIn(cfg.misspecInterruptLatency, [this] {

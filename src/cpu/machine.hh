@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "cpu/core.hh"
 #include "cpu/lock_table.hh"
 #include "cpu/trace.hh"
@@ -37,6 +38,10 @@ struct MachineConfig
 
     /** Safety valve: panic if a run exceeds this many events. */
     std::uint64_t maxEvents = 4'000'000'000ULL;
+
+    /** Event-trace / flight-recorder configuration (off by default;
+     *  wired from --trace / --trace-out / --flight-recorder). */
+    trace::Config trace;
 };
 
 /** Result of one timing run. */
@@ -91,6 +96,9 @@ class Machine
     /** Next spec-assign value (exposed for tests). */
     SpecId specCounterValue() const { return specCounter; }
 
+    /** The machine's event recorder (nullptr when tracing is off). */
+    trace::Manager *traceManager() { return traceMgr.get(); }
+
   private:
     void onMisspeculation(Addr addr, mem::MisspecKind kind);
     /** OS-relayed half of the trap: broadcast the rollback. */
@@ -100,6 +108,7 @@ class Machine
     MachineConfig cfg;
     sim::EventQueue eq;
     StatGroup root;
+    std::unique_ptr<trace::Manager> traceMgr;
     std::unique_ptr<mem::MemorySystem> memsys;
     std::unique_ptr<LockTable> locks;
     std::vector<std::unique_ptr<Core>> cores;

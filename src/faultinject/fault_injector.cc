@@ -1,5 +1,7 @@
 #include "fault_injector.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pmemspec::faultinject
@@ -43,6 +45,23 @@ FaultInjector::detach()
     if (attached) {
         pm.setObserver(nullptr);
         attached = false;
+    }
+}
+
+void
+FaultInjector::setTraceManager(trace::Manager *mgr)
+{
+    traceMgr = mgr;
+    specBuf->setTraceManager(mgr, 0);
+    if (mgr) {
+        mgr->meta.design = "PMEM-Spec";
+        mgr->meta.flags = mgr->config().flags;
+        mgr->meta.specWindow = window;
+        mgr->meta.specEntries = specBuf->capacity();
+        mgr->meta.numCores = 0; // functional layer: no timing cores
+        mgr->meta.specAutomaton = true;
+        mgr->setClock([this] { return eq.now(); });
+        mgr->makeCurrent();
     }
 }
 
@@ -114,6 +133,11 @@ FaultInjector::injectLoadStale(Addr addr, Tick persist_delay)
              static_cast<unsigned long long>(delay),
              static_cast<unsigned long long>(window));
     ++loadStales;
+    PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
+                   trace::EventKind::InjectFault, eq.now(),
+                   trace::kNoCore, block,
+                   {.arg = static_cast<std::uint64_t>(
+                        FaultKind::LoadStale)});
     // The genuine automaton walk: the dirty block's LLC writeback is
     // dropped at the PMC (monitoring starts), the load is served
     // stale from PM (Evict -> Speculated), and the superseding store
@@ -131,6 +155,11 @@ FaultInjector::injectStoreWaw(Addr addr)
 {
     const Addr block = blockAlign(addr);
     ++storeWaws;
+    PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
+                   trace::EventKind::InjectFault, eq.now(),
+                   trace::kNoCore, block,
+                   {.arg = static_cast<std::uint64_t>(
+                        FaultKind::StoreWaw)});
     // Reordered persist-path arrivals: the program-order-later store
     // (higher spec ID) lands first, then the earlier one -- the
     // pattern the PMC's spec-ID order check condemns.
@@ -143,6 +172,11 @@ FaultInjector::injectDelayedPersist(Addr addr, Tick delay)
 {
     const Addr block = blockAlign(addr);
     ++persistDelays;
+    PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
+                   trace::EventKind::InjectFault, eq.now(),
+                   trace::kNoCore, block,
+                   {.arg = static_cast<std::uint64_t>(
+                        FaultKind::PersistDelay)});
     specBuf->writeBack(block);
     eq.scheduleIn(delay, [this, block] { specBuf->persist(block); });
     eq.runUntil(eq.now() + delay);
@@ -152,6 +186,11 @@ void
 FaultInjector::injectPowerCut(std::size_t prefix)
 {
     ++powerCuts;
+    PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
+                   trace::EventKind::InjectFault, eq.now(),
+                   trace::kNoCore, 0,
+                   {.arg = static_cast<std::uint64_t>(
+                        FaultKind::PowerCut)});
     const std::size_t durable =
         prefix < pm.inFlightCount() ? prefix : pm.inFlightCount();
     const std::size_t frontier = durable < pm.inFlightCount()
@@ -165,6 +204,11 @@ void
 FaultInjector::injectTornWrite(std::size_t prefix, std::uint64_t mask)
 {
     ++tornWrites;
+    PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
+                   trace::EventKind::InjectFault, eq.now(),
+                   trace::kNoCore, 0,
+                   {.arg = static_cast<std::uint64_t>(
+                        FaultKind::TornWrite)});
     const std::size_t durable =
         prefix < pm.inFlightCount() ? prefix : pm.inFlightCount();
     const std::size_t frontier = durable < pm.inFlightCount()
@@ -178,6 +222,11 @@ void
 FaultInjector::injectBitFlip(Addr addr, std::uint64_t xor_mask)
 {
     ++bitFlips;
+    PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
+                   trace::EventKind::InjectFault, eq.now(),
+                   trace::kNoCore, addr,
+                   {.arg = static_cast<std::uint64_t>(
+                        FaultKind::BitFlip)});
     pm.corruptWord(addr, xor_mask ? xor_mask : 1);
 }
 
@@ -185,20 +234,50 @@ void
 FaultInjector::injectPoison(Addr addr)
 {
     ++poisons;
+    PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
+                   trace::EventKind::InjectFault, eq.now(),
+                   trace::kNoCore, addr,
+                   {.arg = static_cast<std::uint64_t>(
+                        FaultKind::Poison)});
     pm.poisonWord(addr);
 }
 
 void
 FaultInjector::persistArrives(Addr block, SpecId id)
 {
+    // Mirror PmController::checkStoreOrder exactly (max-merge on
+    // refresh, lazy one-shot expiry sweep) so the offline trace
+    // checker's single model re-derives both implementations.
+    PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                   trace::EventKind::PmcPersistAccept, eq.now(),
+                   trace::kNoCore, block, {.specId = id});
     auto it = specTrack.find(block);
-    if (it != specTrack.end() && eq.now() - it->second.at <= window &&
-        id < it->second.id) {
-        specBuf->reportStoreMisspec(block);
-        specTrack.erase(it);
-        return;
+    if (it != specTrack.end()) {
+        if (eq.now() - it->second.at <= window && id < it->second.id) {
+            PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                           trace::EventKind::PmcStoreOrderViolation,
+                           eq.now(), trace::kNoCore, block,
+                           {.specId = id, .arg = it->second.id});
+            specBuf->reportStoreMisspec(block);
+            specTrack.erase(it);
+            return;
+        }
+        it->second.id = std::max(it->second.id, id);
+        it->second.at = eq.now();
+    } else {
+        specTrack.emplace(block, SpecTrack{id, eq.now()});
+        eq.scheduleIn(window + 1, [this, block] {
+            auto sit = specTrack.find(block);
+            if (sit != specTrack.end() &&
+                eq.now() - sit->second.at > window) {
+                PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                               trace::EventKind::PmcTrackExpire,
+                               eq.now(), trace::kNoCore, block,
+                               {.specId = sit->second.id});
+                specTrack.erase(sit);
+            }
+        });
     }
-    specTrack[block] = SpecTrack{id, eq.now()};
 }
 
 } // namespace pmemspec::faultinject

@@ -121,6 +121,16 @@ class FaultInjector
     mem::SpeculationBuffer &specBuffer() { return *specBuf; }
     sim::EventQueue &eventQueue() { return eq; }
 
+    /**
+     * Attach an event recorder (nullptr detaches): the injector fills
+     * its run metadata, clocks it from the injector's event queue,
+     * makes it the thread's flight recorder, and cascades it to the
+     * speculation buffer and the modelled PMC order check -- the
+     * resulting stream is exactly what the offline trace checker
+     * replays as an oracle over injection campaigns.
+     */
+    void setTraceManager(trace::Manager *mgr);
+
     std::uint64_t loadStalesInjected() const { return loadStales; }
     std::uint64_t storeWawsInjected() const { return storeWaws; }
     std::uint64_t powerCutsInjected() const { return powerCuts; }
@@ -135,9 +145,11 @@ class FaultInjector
     void onAccess(runtime::MemOp op, Addr a, std::uint32_t n);
     void fire(const FaultAction &action);
 
-    /** Modelled PMC order check (Section 5.2.2): a tagged persist
-     *  with a lower spec ID than one recorded for the block within
-     *  the window is a store misspeculation. */
+    /** Modelled PMC order check (Section 5.2.2), algorithmically
+     *  identical to PmController::checkStoreOrder (max-merge refresh,
+     *  lazy expiry sweep) so one checker model covers both: a tagged
+     *  persist with a lower spec ID than one recorded for the block
+     *  within the window is a store misspeculation. */
     void persistArrives(Addr block, SpecId id);
 
     runtime::PersistentMemory &pm;
@@ -168,6 +180,8 @@ class FaultInjector
     std::uint64_t bitFlips = 0;
     std::uint64_t poisons = 0;
     std::uint64_t interrupts = 0;
+
+    trace::Manager *traceMgr = nullptr;
 };
 
 } // namespace pmemspec::faultinject

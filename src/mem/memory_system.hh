@@ -98,6 +98,19 @@ class MemorySystem : public sim::SimObject
     }
     PersistBuffer &pbuf(CoreId c) { return *pbufs.at(c); }
 
+    /** Attach the machine's event recorder to every PMC (unit: PMC
+     *  index, cascading to its speculation buffer) and persist-path
+     *  lane (unit: lane index within the core's bundle). */
+    void setTraceManager(trace::Manager *mgr)
+    {
+        for (unsigned i = 0; i < pmControllers.size(); ++i)
+            pmControllers[i]->setTraceManager(
+                mgr, static_cast<std::uint16_t>(i));
+        for (unsigned i = 0; i < paths.size(); ++i)
+            paths[i]->setTraceManager(
+                mgr, static_cast<std::uint16_t>(i % pathLanes));
+    }
+
     Counter coherenceInvalidations;
     Counter storeAllocFetches;
     /** Section 7 oracle: a core's persists arrived at different

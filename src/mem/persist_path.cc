@@ -1,5 +1,7 @@
 #include "persist_path.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pmemspec::mem
@@ -9,6 +11,8 @@ PersistPath::PersistPath(sim::EventQueue &eq, StatGroup *parent,
                          CoreId core, Tick latency, unsigned capacity,
                          DeliverFn deliver_fn)
     : sim::SimObject("persistPath" + std::to_string(core), eq, parent),
+      occupancyHist(0, capacity + 1.0,
+                    std::min<std::size_t>(capacity + 1, 64)),
       coreId(core),
       pathLatency(latency),
       fifoCapacity(capacity),
@@ -22,6 +26,8 @@ PersistPath::PersistPath(sim::EventQueue &eq, StatGroup *parent,
                        "delivery retries due to PMC backpressure");
     stats().addAccumulator("occupancy", &occupancyStat,
                            "FIFO occupancy sampled at each send");
+    stats().addHistogram("occupancyDist", &occupancyHist,
+                         "FIFO occupancy distribution at each send");
 }
 
 void
@@ -39,6 +45,11 @@ PersistPath::send(Addr block_addr, std::optional<SpecId> spec_id)
     fifo.push_back(Flit{block_addr, spec_id, arrival});
     ++sends;
     occupancyStat.sample(static_cast<double>(fifo.size()));
+    occupancyHist.sample(static_cast<double>(fifo.size()));
+    PMEMSPEC_TRACE(traceMgr, FlagPersistPath, trace::EventKind::PathSend,
+                   curTick(), coreId, block_addr,
+                   {.specId = spec_id ? *spec_id : trace::kNoSpecId,
+                    .arg = fifo.size(), .unit = traceUnit});
     if (!pumpScheduled) {
         pumpScheduled = true;
         scheduleIn(arrival - curTick(), [this] { pump(); });
@@ -61,6 +72,12 @@ PersistPath::pump()
 
     if (deliver(coreId, head.addr, head.specId)) {
         ++deliveries;
+        PMEMSPEC_TRACE(traceMgr, FlagPersistPath,
+                       trace::EventKind::PathDeliver, curTick(), coreId,
+                       head.addr,
+                       {.specId = head.specId ? *head.specId
+                                              : trace::kNoSpecId,
+                        .arg = fifo.size() - 1, .unit = traceUnit});
         fifo.pop_front();
         drainWaiters();
         if (!fifo.empty()) {
@@ -74,6 +91,9 @@ PersistPath::pump()
         // PMC write queue full: retry after a backoff, preserving
         // order.
         ++retries;
+        PMEMSPEC_TRACE(traceMgr, FlagPersistPath,
+                       trace::EventKind::PathRetry, curTick(), coreId,
+                       head.addr, {.unit = traceUnit});
         pumpScheduled = true;
         scheduleIn(4 * ticksPerNs, [this] { pump(); });
     }

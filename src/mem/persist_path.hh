@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
 
@@ -75,10 +76,19 @@ class PersistPath : public sim::SimObject
 
     Tick latency() const { return pathLatency; }
 
+    /** Attach the machine's event recorder; `unit` is the path lane. */
+    void setTraceManager(trace::Manager *mgr, std::uint16_t unit = 0)
+    {
+        traceMgr = mgr;
+        traceUnit = unit;
+    }
+
     Counter sends;
     Counter deliveries;
     Counter retries;
     Accumulator occupancyStat;
+    /** FIFO occupancy distribution, sampled at each send (fig12). */
+    Histogram occupancyHist;
 
   private:
     struct Flit
@@ -103,6 +113,9 @@ class PersistPath : public sim::SimObject
     bool pumpScheduled = false;
     std::vector<std::function<void()>> emptyWaiters;
     std::vector<std::function<void()>> spaceWaiters;
+
+    trace::Manager *traceMgr = nullptr;
+    std::uint16_t traceUnit = 0;
 };
 
 } // namespace pmemspec::mem

@@ -51,6 +51,15 @@ PmController::specBuffer()
     return *specBuf;
 }
 
+void
+PmController::setTraceManager(trace::Manager *mgr, std::uint16_t unit)
+{
+    traceMgr = mgr;
+    traceUnit = unit;
+    if (specBuf)
+        specBuf->setTraceManager(mgr, unit);
+}
+
 Tick &
 PmController::bankFree(Addr block_addr)
 {
@@ -71,6 +80,9 @@ PmController::serviceRead(Addr block_addr, Tick enq,
     }
     ++outstandingReads;
     ++reads;
+    PMEMSPEC_TRACE(traceMgr, FlagPmController, trace::EventKind::PmcRead,
+                   curTick(), trace::kNoCore, block_addr,
+                   {.arg = outstandingReads, .unit = traceUnit});
 
     if (design == Design::PmemSpec)
         specBuf->read(block_addr);
@@ -245,6 +257,10 @@ PmController::writeBack(Addr block_addr, std::function<void()> on_accepted)
         // Silently dropped -- but the WriteBack *request* is the
         // speculation buffer's monitoring trigger (Table 2).
         ++droppedWritebacks;
+        PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                       trace::EventKind::PmcWriteBack, curTick(),
+                       trace::kNoCore, block_addr,
+                       {.arg = writeQueue, .unit = traceUnit});
         specBuf->writeBack(block_addr);
         on_accepted();
         return;
@@ -255,13 +271,23 @@ bool
 PmController::acceptPersist(CoreId core, Addr block_addr,
                             std::optional<SpecId> spec_id)
 {
-    (void)core;
+    (void)core; // only the trace points consume it today
     if (writeQueue >= cfg.pmcWriteQueue &&
         coalescable.find(block_addr) == coalescable.end()) {
         ++persistsRefused;
+        PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                       trace::EventKind::PmcPersistRefuse, curTick(),
+                       core, block_addr,
+                       {.specId = spec_id ? *spec_id : trace::kNoSpecId,
+                        .unit = traceUnit});
         return false;
     }
     ++persistsAccepted;
+    PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                   trace::EventKind::PmcPersistAccept, curTick(), core,
+                   block_addr,
+                   {.specId = spec_id ? *spec_id : trace::kNoSpecId,
+                    .arg = writeQueue, .unit = traceUnit});
     serviceWrite(block_addr);
     if (design == Design::PmemSpec) {
         specBuf->persist(block_addr);
@@ -281,6 +307,11 @@ PmController::checkStoreOrder(Addr block_addr, SpecId spec_id)
             spec_id < it->second.id) {
             // A store ordered *earlier* by the happens-before order
             // persisted after a later one: missing-update hazard.
+            PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                           trace::EventKind::PmcStoreOrderViolation,
+                           curTick(), trace::kNoCore, block_addr,
+                           {.specId = spec_id, .arg = it->second.id,
+                            .unit = traceUnit});
             specBuf->reportStoreMisspec(block_addr);
             specTrack.erase(it);
             return;
@@ -294,8 +325,14 @@ PmController::checkStoreOrder(Addr block_addr, SpecId spec_id)
         scheduleIn(window + 1, [this, block_addr] {
             auto sit = specTrack.find(block_addr);
             if (sit != specTrack.end() &&
-                curTick() - sit->second.at > cfg.effectiveSpecWindow())
+                curTick() - sit->second.at > cfg.effectiveSpecWindow()) {
+                PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                               trace::EventKind::PmcTrackExpire,
+                               curTick(), trace::kNoCore, block_addr,
+                               {.specId = sit->second.id,
+                                .unit = traceUnit});
                 specTrack.erase(sit);
+            }
         });
     }
 }

@@ -114,6 +114,10 @@ class PmController : public sim::SimObject
     /** The speculation buffer (valid only for Design::PmemSpec). */
     SpeculationBuffer &specBuffer();
 
+    /** Attach the machine's event recorder; `unit` is this PMC's
+     *  index (forwarded to the speculation buffer). */
+    void setTraceManager(trace::Manager *mgr, std::uint16_t unit = 0);
+
     /** Occupancies, for tests. */
     unsigned readQueueOccupancy() const { return outstandingReads; }
     unsigned writeQueueOccupancy() const
@@ -184,6 +188,9 @@ class PmController : public sim::SimObject
 
     /** Run the spec-ID check for a tagged persist. */
     void checkStoreOrder(Addr block_addr, SpecId spec_id);
+
+    trace::Manager *traceMgr = nullptr;
+    std::uint16_t traceUnit = 0;
 };
 
 } // namespace pmemspec::mem

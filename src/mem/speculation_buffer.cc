@@ -5,10 +5,22 @@
 namespace pmemspec::mem
 {
 
+namespace
+{
+
+std::uint8_t
+ord(SpecState s)
+{
+    return static_cast<std::uint8_t>(s);
+}
+
+} // namespace
+
 SpeculationBuffer::SpeculationBuffer(sim::EventQueue &eq,
                                      StatGroup *parent,
                                      unsigned num_entries, Tick window)
     : sim::SimObject("specbuf", eq, parent),
+      residencyHist(0, 2.0 * static_cast<double>(window) / ticksPerNs, 40),
       entries(num_entries),
       specWindow(window)
 {
@@ -26,6 +38,8 @@ SpeculationBuffer::SpeculationBuffer(sim::EventQueue &eq,
                        "machine pauses due to a full buffer");
     stats().addCounter("droppedInputs", &droppedInputs,
                        "inputs dropped while the buffer was full");
+    stats().addHistogram("windowResidency", &residencyHist,
+                         "entry residency in the buffer (ns)");
 }
 
 SpeculationBuffer::Entry *
@@ -60,6 +74,13 @@ SpeculationBuffer::stateOf(Addr block_addr) const
     return e ? e->state : SpecState::Initial;
 }
 
+void
+SpeculationBuffer::noteDeparture(const Entry &e)
+{
+    residencyHist.sample(
+        static_cast<double>(curTick() - e.inserted) / ticksPerNs);
+}
+
 SpeculationBuffer::Entry *
 SpeculationBuffer::allocate(Addr block_addr)
 {
@@ -69,6 +90,10 @@ SpeculationBuffer::allocate(Addr block_addr)
             e.addr = block_addr;
             e.state = SpecState::Initial;
             ++allocations;
+            PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer,
+                           trace::EventKind::SbAllocate, curTick(),
+                           trace::kNoCore, block_addr,
+                           {.arg = occupancy(), .unit = traceUnit});
             return &e;
         }
     }
@@ -79,9 +104,16 @@ SpeculationBuffer::allocate(Addr block_addr)
     // needed this entry while the whole machine is stopped, and the
     // window bounds the lifetime of any in-flight race.
     ++droppedInputs;
+    PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer,
+                   trace::EventKind::SbInputDropped, curTick(),
+                   trace::kNoCore, block_addr, {.unit = traceUnit});
     if (curTick() >= pausedUntil) {
         ++fullPauses;
         pausedUntil = curTick() + specWindow;
+        PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer,
+                       trace::EventKind::SbPause, curTick(),
+                       trace::kNoCore, block_addr,
+                       {.arg = specWindow, .unit = traceUnit});
         if (onPause)
             onPause(specWindow);
     }
@@ -97,6 +129,12 @@ SpeculationBuffer::armWindow(Entry &e)
     scheduleIn(specWindow, [this, slot, gen] {
         // Deallocate only if the entry was not reused or refreshed.
         if (slot->valid && slot->generation == gen) {
+            noteDeparture(*slot);
+            PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer,
+                           trace::EventKind::SbExpire, curTick(),
+                           trace::kNoCore, slot->addr,
+                           {.arg = (curTick() - slot->inserted) / ticksPerNs,
+                            .unit = traceUnit});
             slot->valid = false;
             ++expirations;
         }
@@ -112,6 +150,11 @@ SpeculationBuffer::fireMisspec(Entry &e, MisspecKind kind)
     else
         ++storeMisspecs;
     const Addr addr = e.addr;
+    noteDeparture(e);
+    PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer, trace::EventKind::SbMisspec,
+                   curTick(), trace::kNoCore, addr,
+                   {.arg = static_cast<std::uint64_t>(kind),
+                    .unit = traceUnit});
     // The entry's job is done; recovery wipes the offending FASEs.
     e.valid = false;
     ++e.generation;
@@ -123,6 +166,7 @@ void
 SpeculationBuffer::writeBack(Addr block_addr)
 {
     Entry *e = find(block_addr);
+    const std::uint8_t before = ord(e ? e->state : SpecState::Initial);
     if (!e) {
         e = allocate(block_addr);
         if (!e)
@@ -133,12 +177,21 @@ SpeculationBuffer::writeBack(Addr block_addr)
     // pattern -- the block was fetched and evicted again).
     e->state = SpecState::Evict;
     armWindow(*e);
+    PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer, trace::EventKind::SbWriteBack,
+                   curTick(), trace::kNoCore, block_addr,
+                   {.stateBefore = before,
+                    .stateAfter = ord(SpecState::Evict),
+                    .unit = traceUnit});
 }
 
 void
 SpeculationBuffer::reportStoreMisspec(Addr block_addr)
 {
     ++storeMisspecs;
+    PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer, trace::EventKind::SbMisspec,
+                   curTick(), trace::kNoCore, block_addr,
+                   {.arg = static_cast<std::uint64_t>(MisspecKind::StoreOrder),
+                    .unit = traceUnit});
     if (onMisspec)
         onMisspec(block_addr, MisspecKind::StoreOrder);
 }
@@ -147,8 +200,16 @@ void
 SpeculationBuffer::read(Addr block_addr)
 {
     Entry *e = find(block_addr);
-    if (!e)
-        return; // not monitored: no prior eviction, cannot be stale
+    const std::uint8_t before = ord(e ? e->state : SpecState::Initial);
+    if (!e) {
+        // Not monitored: no prior eviction, cannot be stale.
+        PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer, trace::EventKind::SbRead,
+                       curTick(), trace::kNoCore, block_addr,
+                       {.stateBefore = before,
+                        .stateAfter = ord(SpecState::Initial),
+                        .unit = traceUnit});
+        return;
+    }
     if (e->state == SpecState::Evict || e->state == SpecState::Speculated) {
         e->state = SpecState::Speculated;
         // Restart the window: Section 5.1.2 specifies that the window
@@ -156,28 +217,39 @@ SpeculationBuffer::read(Addr block_addr)
         // the load reaches the PMC.
         armWindow(*e);
     }
+    PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer, trace::EventKind::SbRead,
+                   curTick(), trace::kNoCore, block_addr,
+                   {.stateBefore = before,
+                    .stateAfter = ord(e->state),
+                    .unit = traceUnit});
 }
 
 void
 SpeculationBuffer::persist(Addr block_addr)
 {
     Entry *e = find(block_addr);
-    if (!e)
-        return;
+    const std::uint8_t before = ord(e ? e->state : SpecState::Initial);
+    std::uint8_t after = ord(SpecState::Initial);
 
-    // --- Load misspeculation: WriteBack(s)-Read(s)-Persist. ---
-    if (e->state == SpecState::Speculated) {
-        fireMisspec(*e, MisspecKind::LoadStale);
-        return;
+    if (e) {
+        if (e->state == SpecState::Speculated) {
+            // --- Load misspeculation: WriteBack(s)-Read(s)-Persist. ---
+            after = ord(SpecState::Misspeculation);
+            fireMisspec(*e, MisspecKind::LoadStale);
+        } else if (e->state == SpecState::Evict) {
+            // The in-flight store superseded the dropped eviction
+            // before any read slipped in: the block's PM copy is now
+            // current, so load monitoring for this eviction can stop.
+            noteDeparture(*e);
+            e->valid = false;
+            ++e->generation;
+        }
     }
-
-    if (e->state == SpecState::Evict) {
-        // The in-flight store superseded the dropped eviction before
-        // any read slipped in: the block's PM copy is now current, so
-        // load monitoring for this eviction can stop.
-        e->valid = false;
-        ++e->generation;
-    }
+    PMEMSPEC_TRACE(traceMgr, FlagSpecBuffer, trace::EventKind::SbPersist,
+                   curTick(), trace::kNoCore, block_addr,
+                   {.stateBefore = before,
+                    .stateAfter = after,
+                    .unit = traceUnit});
 }
 
 } // namespace pmemspec::mem

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
 
@@ -111,12 +112,23 @@ class SpeculationBuffer : public sim::SimObject
     /** Automaton state for a block (Initial if untracked). */
     SpecState stateOf(Addr block_addr) const;
 
+    /** Attach the machine's event recorder; `unit` is the owning
+     *  PMC's index, stamped into every emitted event. */
+    void setTraceManager(trace::Manager *mgr, std::uint16_t unit = 0)
+    {
+        traceMgr = mgr;
+        traceUnit = unit;
+    }
+
     Counter loadMisspecs;
     Counter storeMisspecs;
     Counter allocations;
     Counter expirations;
     Counter fullPauses;
     Counter droppedInputs;
+    /** How long entries actually sat in the buffer (ns): the window
+     *  residency distribution behind fig11's occupancy story. */
+    Histogram residencyHist;
 
   private:
     struct Entry
@@ -142,12 +154,18 @@ class SpeculationBuffer : public sim::SimObject
 
     void fireMisspec(Entry &e, MisspecKind kind);
 
+    /** Residency sample + trace event for an entry leaving the buffer. */
+    void noteDeparture(const Entry &e);
+
     std::vector<Entry> entries;
     Tick specWindow;
     MisspecCallback onMisspec;
     PauseCallback onPause;
     /** While paused, the tick at which the pause ends. */
     Tick pausedUntil = 0;
+
+    trace::Manager *traceMgr = nullptr;
+    std::uint16_t traceUnit = 0;
 };
 
 } // namespace pmemspec::mem

@@ -1,0 +1,121 @@
+#include "chrome_trace.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pmemspec::observe
+{
+
+namespace
+{
+
+/** Chrome has no "no thread": uncored events land on a per-unit lane
+ *  well above any plausible core id. */
+constexpr std::uint64_t kUncoredTidBase = 1000;
+
+std::uint64_t
+tidOf(const trace::Event &e)
+{
+    if (e.core != trace::kNoCore)
+        return e.core;
+    return kUncoredTidBase + e.unit;
+}
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+} // namespace
+
+Json
+chromeTraceJson(const std::vector<trace::Event> &events,
+                const trace::Meta &meta, std::uint64_t dropped)
+{
+    Json evs = Json::array();
+    std::map<std::uint64_t, std::string> lanes;
+
+    for (const trace::Event &e : events) {
+        Json je = Json::object();
+        je.set("name", Json(std::string(trace::kindName(e.kind))));
+        je.set("cat", Json(std::string(trace::flagName(e.flagBit))));
+        je.set("ph", Json(std::string("i")));
+        // Ticks are picoseconds; Chrome's ts field is microseconds.
+        je.set("ts", Json(static_cast<double>(e.tick) / 1e6));
+        je.set("pid", Json(std::uint64_t{0}));
+        const std::uint64_t tid = tidOf(e);
+        je.set("tid", Json(tid));
+        je.set("s", Json(std::string("t")));
+
+        Json args = Json::object();
+        args.set("seq", Json(e.seq));
+        args.set("addr", Json(hexAddr(e.addr)));
+        if (e.specId != trace::kNoSpecId)
+            args.set("specId", Json(std::uint64_t{e.specId}));
+        if (e.stateBefore != trace::kNoState)
+            args.set("before", Json(std::string(
+                trace::specStateName(e.stateBefore))));
+        if (e.stateAfter != trace::kNoState)
+            args.set("after", Json(std::string(
+                trace::specStateName(e.stateAfter))));
+        if (e.arg != 0)
+            args.set("arg", Json(e.arg));
+        args.set("unit", Json(std::uint64_t{e.unit}));
+        je.set("args", std::move(args));
+        evs.push(std::move(je));
+
+        if (!lanes.count(tid)) {
+            lanes[tid] = e.core != trace::kNoCore
+                ? "core" + std::to_string(e.core)
+                : "pm-unit" + std::to_string(e.unit);
+        }
+    }
+
+    // Thread-name metadata so the viewer labels the lanes.
+    for (const auto &[tid, name] : lanes) {
+        Json md = Json::object();
+        md.set("name", Json(std::string("thread_name")));
+        md.set("ph", Json(std::string("M")));
+        md.set("pid", Json(std::uint64_t{0}));
+        md.set("tid", Json(tid));
+        Json args = Json::object();
+        args.set("name", Json(name));
+        md.set("args", std::move(args));
+        evs.push(std::move(md));
+    }
+
+    Json other = Json::object();
+    other.set("schema", Json(std::string("pmemspec-trace-v1")));
+    other.set("design", Json(meta.design));
+    other.set("specWindowTicks", Json(meta.specWindow));
+    other.set("specEntries", Json(std::uint64_t{meta.specEntries}));
+    other.set("numCores", Json(std::uint64_t{meta.numCores}));
+    other.set("flags", Json(trace::flagsToString(meta.flags)));
+    other.set("events", Json(std::uint64_t{events.size()}));
+    other.set("dropped", Json(dropped));
+
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(evs));
+    doc.set("displayTimeUnit", Json(std::string("ns")));
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<trace::Event> &events,
+                 const trace::Meta &meta, std::uint64_t dropped)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    chromeTraceJson(events, meta, dropped).write(os, 0);
+    os << "\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace pmemspec::observe

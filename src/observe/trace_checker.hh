@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Offline trace checker: an independent implementation of the
+ * paper's misspeculation detection rules, replayed over an event log.
+ *
+ * From the SpecBuffer input events (SbWriteBack / SbRead / SbPersist,
+ * plus SbInputDropped) the checker re-derives the per-block automaton
+ * of Figure 5 -- including window expiries, computed from
+ * Meta::specWindow rather than trusted from the stream -- and from the
+ * PmcPersistAccept events it re-derives the spec-ID ordering check of
+ * Section 5.2.2. Its verdicts are then diffed, both directions,
+ * against what the hardware reported (SbMisspec / SbExpire /
+ * PmcStoreOrderViolation events): a misspeculation the hardware
+ * detected but the checker cannot derive is as much a disagreement as
+ * one the hardware missed. Zero disagreements is the contract the
+ * fault-injection suite and the CI trace-check job assert.
+ *
+ * The replay mirrors two exact hardware semantics:
+ *  - tie-breaking: the event queue runs same-tick events in insertion
+ *    order, so a window expiry armed at tick T beats any persist
+ *    delivered at T + window (expiries are applied before any input
+ *    carrying an equal or later tick);
+ *  - the PMC's spec-ID tracker keeps the max ID seen within the
+ *    window and ages entries with a one-shot lazy sweep scheduled
+ *    window + 1 ticks after first insertion.
+ *
+ * The checker requires a lossless stream: a trace with dropped events
+ * cannot be certified and is reported as a disagreement.
+ */
+
+#ifndef PMEMSPEC_OBSERVE_TRACE_CHECKER_HH
+#define PMEMSPEC_OBSERVE_TRACE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+
+namespace pmemspec::observe
+{
+
+/** Verdict of one checker run. */
+struct CheckResult
+{
+    std::uint64_t events = 0; ///< events replayed
+
+    /** Which rule sets the stream's flags allowed us to replay. */
+    bool automatonChecked = false;  ///< needs SpecBuffer events
+    bool storeOrderChecked = false; ///< needs PmController events
+
+    std::uint64_t loadMisspecsDerived = 0;
+    std::uint64_t loadMisspecsDetected = 0; ///< hardware SbMisspec
+    std::uint64_t storeMisspecsDerived = 0;
+    std::uint64_t storeMisspecsDetected = 0;
+    std::uint64_t expiriesDerived = 0;
+    std::uint64_t expiriesDetected = 0;
+
+    /** Checker/hardware mismatches; empty means the log certifies. */
+    std::vector<std::string> disagreements;
+    /** Non-fatal observations (skipped rule sets etc.). */
+    std::vector<std::string> notes;
+
+    bool ok() const { return disagreements.empty(); }
+    std::string summary() const;
+};
+
+/** Replay a stream recorded with the given metadata. `dropped` is
+ *  the manager's dropped-event count (non-zero disqualifies). */
+CheckResult checkEvents(const std::vector<trace::Event> &events,
+                        const trace::Meta &meta,
+                        std::uint64_t dropped = 0);
+
+/** Load a PMTRACE1 binary log and check it. */
+CheckResult checkTraceFile(const std::string &path);
+
+} // namespace pmemspec::observe
+
+#endif // PMEMSPEC_OBSERVE_TRACE_CHECKER_HH

@@ -1,0 +1,58 @@
+#include "trace_export.hh"
+
+#include "common/logging.hh"
+#include "observe/binary_log.hh"
+#include "observe/chrome_trace.hh"
+
+namespace pmemspec::observe
+{
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+std::string
+tracePathWithLabel(const std::string &path, const std::string &label)
+{
+    if (label.empty())
+        return path;
+    std::string clean = label;
+    for (char &c : clean) {
+        if (c == '/' || c == '\\')
+            c = '_';
+    }
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + clean;
+    return path.substr(0, dot) + "." + clean + path.substr(dot);
+}
+
+std::string
+exportTraceFile(const trace::Manager &mgr)
+{
+    const trace::Config &cfg = mgr.config();
+    if (cfg.outPath.empty())
+        return "";
+    const std::string path = tracePathWithLabel(cfg.outPath, cfg.label);
+    const std::vector<trace::Event> events = mgr.snapshot();
+    const bool ok = endsWith(path, ".json")
+        ? writeChromeTrace(path, events, mgr.meta, mgr.dropped())
+        : writeBinaryTrace(path, mgr.meta, events, mgr.dropped());
+    if (!ok) {
+        warn("trace export to %s failed", path.c_str());
+        return "";
+    }
+    return path;
+}
+
+} // namespace pmemspec::observe

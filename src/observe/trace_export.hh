@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Export front-end: snapshot a trace::Manager to disk, picking the
+ * format from the destination's extension (".json" selects Chrome
+ * trace-event JSON, anything else the PMTRACE1 binary log).
+ */
+
+#ifndef PMEMSPEC_OBSERVE_TRACE_EXPORT_HH
+#define PMEMSPEC_OBSERVE_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "common/trace.hh"
+
+namespace pmemspec::observe
+{
+
+/** "out.json" + "lat500" -> "out.lat500.json"; no label or no
+ *  extension degrade gracefully. '/' in the label becomes '_'. */
+std::string tracePathWithLabel(const std::string &path,
+                               const std::string &label);
+
+/**
+ * Export the manager's retained events to cfg.outPath (with
+ * cfg.label applied). @return the path written, "" when the manager
+ * has no outPath or on I/O failure (with a warn()).
+ */
+std::string exportTraceFile(const trace::Manager &mgr);
+
+} // namespace pmemspec::observe
+
+#endif // PMEMSPEC_OBSERVE_TRACE_EXPORT_HH

@@ -111,13 +111,20 @@ FaseRuntime::~FaseRuntime()
 void
 FaseRuntime::onMisspecSignal(Addr fault_addr)
 {
-    (void)fault_addr;
     // Flag every thread currently executing a FASE; threads outside
     // FASEs are untouched (Section 6.2.1).
+    std::uint64_t flagged = 0;
     for (auto &t : threads) {
-        if (t.inFase)
+        if (t.inFase) {
             t.misspecFlag = true;
+            ++flagged;
+        }
     }
+    PMEMSPEC_TRACE(traceMgr, FlagFaseRuntime, trace::EventKind::RtTrap,
+                   traceMgr ? traceMgr->now() : 0, trace::kNoCore,
+                   fault_addr, {.arg = flagged});
+    if (traceMgr)
+        lastTrapWindow = traceMgr->formatTail(16);
 }
 
 void
@@ -146,13 +153,19 @@ FaseRuntime::abortFase(unsigned tid)
     const UndoRecoveryResult r = ts.log.recover();
     ts.inFase = false;
     ++aborted;
+    PMEMSPEC_TRACE(traceMgr, FlagFaseRuntime, trace::EventKind::RtAbort,
+                   traceMgr ? traceMgr->now() : 0, tid, 0,
+                   {.arg = r.replayed});
     if (!r.consistent) {
         // The log of a *live* FASE failed verification: injected (or
         // real) media faults hit it mid-run. Same fail-safe as crash
         // recovery -- refuse to continue on a state we cannot trust.
         RecoveryReport rep;
         accumulate(rep, tid, r);
+        rep.trapWindow = lastTrapWindow;
         lastReport = rep;
+        if (traceMgr && traceMgr->config().flightRecorder)
+            traceMgr->dump(stderr);
         throw UnrecoverableCorruption{std::move(rep)};
     }
 }
@@ -220,6 +233,10 @@ FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
         pm.persistAll();
         ts.inFase = false;
         ++committed;
+        PMEMSPEC_TRACE(traceMgr, FlagFaseRuntime,
+                       trace::EventKind::RtCommit,
+                       traceMgr ? traceMgr->now() : 0, tid, 0,
+                       {.arg = invocation_aborts});
         return;
     }
 }
@@ -240,6 +257,13 @@ FaseRuntime::recoverAll()
         t.misspecFlag = false;
         ++tid;
     }
+    // Attach the flight window around the last trap: crash-recovery
+    // post-mortems see what the hardware observed just before it.
+    rep.trapWindow = lastTrapWindow;
+    PMEMSPEC_TRACE(traceMgr, FlagFaseRuntime,
+                   trace::EventKind::RtRecovery,
+                   traceMgr ? traceMgr->now() : 0, trace::kNoCore, 0,
+                   {.arg = rep.entriesReplayed});
     lastReport = rep;
     if (!rep.consistent) {
         // Fail-safe verdict: at least one log refused its replay, so
@@ -248,6 +272,8 @@ FaseRuntime::recoverAll()
         // diagnosis.
         for (const auto &d : rep.diagnostics)
             warn("unrecoverable corruption: %s", d.c_str());
+        if (traceMgr && traceMgr->config().flightRecorder)
+            traceMgr->dump(stderr);
         throw UnrecoverableCorruption{rep};
     }
     return rep;

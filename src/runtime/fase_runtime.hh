@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hh"
 #include "runtime/persistent_memory.hh"
 #include "runtime/undo_log.hh"
 #include "runtime/virtual_os.hh"
@@ -66,6 +67,12 @@ struct RecoveryReport
     bool consistent = true;
     /** One line per defect, for logs and exceptions. */
     std::vector<std::string> diagnostics;
+    /** Flight-recorder window around the last misspeculation trap
+     *  (formatted trace events), attached when the runtime has a
+     *  trace::Manager. Diagnostic context only -- deliberately NOT
+     *  part of operator==: two recoveries of the same durable image
+     *  must compare equal whether or not tracing was on. */
+    std::vector<std::string> trapWindow;
 
     bool
     operator==(const RecoveryReport &o) const
@@ -220,6 +227,10 @@ class FaseRuntime
 
     Pid pid() const { return pid_; }
     RecoveryPolicy policy() const { return recoveryPolicy; }
+
+    /** Attach an event recorder (nullptr detaches). Rt* events carry
+     *  the thread id in the core field. */
+    void setTraceManager(trace::Manager *mgr) { traceMgr = mgr; }
     LogGranularity granularity() const { return logGranularity; }
 
     /** PM region of thread tid's undo log (trace classification). */
@@ -266,6 +277,9 @@ class FaseRuntime
     std::uint64_t aborted = 0;
     std::uint64_t abortBudget_ = 4096;
     RecoveryReport lastReport;
+    trace::Manager *traceMgr = nullptr;
+    /** Flight window captured at the last misspeculation signal. */
+    std::vector<std::string> lastTrapWindow;
 };
 
 } // namespace pmemspec::runtime

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the event-tracing layer: flag parsing, ring buffer
+ * policies (drop-and-count in trace mode, overwrite in flight-recorder
+ * mode), event formatting, the flight dump, the machine-level flight
+ * recorder on a forced misspeculation trap, and both exporters
+ * (Chrome trace-event JSON schema keys, binary log round trip).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "cpu/machine.hh"
+#include "observe/binary_log.hh"
+#include "observe/chrome_trace.hh"
+#include "observe/trace_export.hh"
+
+using namespace pmemspec;
+using trace::Config;
+using trace::Detail;
+using trace::Event;
+using trace::EventKind;
+using trace::Manager;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "pmemspec_" + name;
+}
+
+/** Record n events with distinct addresses onto one core's ring. */
+void
+recordN(Manager &m, unsigned n, CoreId core = 0)
+{
+    for (unsigned i = 0; i < n; ++i)
+        m.record(trace::FlagSpecBuffer, EventKind::SbWriteBack,
+                 Tick{10} * (i + 1), core, Addr{0x1000} + i * blockBytes,
+                 {.stateBefore = 0, .stateAfter = 1});
+}
+
+} // namespace
+
+TEST(TraceFlags, ParseRoundTrip)
+{
+    std::uint32_t mask = 0;
+    EXPECT_TRUE(trace::parseFlags("PersistPath,SpecBuffer", mask));
+    EXPECT_EQ(mask, trace::FlagPersistPath | trace::FlagSpecBuffer);
+    EXPECT_EQ(trace::flagsToString(mask), "PersistPath,SpecBuffer");
+
+    EXPECT_TRUE(trace::parseFlags("all", mask));
+    EXPECT_EQ(mask, trace::FlagAll);
+    EXPECT_EQ(trace::flagsToString(mask), "all");
+
+    // Every individual flag name round-trips through its own bit.
+    for (unsigned bit = 0; bit < trace::numFlags; ++bit) {
+        std::uint32_t one = 0;
+        EXPECT_TRUE(trace::parseFlags(trace::flagName(bit), one));
+        EXPECT_EQ(one, 1u << bit);
+    }
+}
+
+TEST(TraceFlags, UnknownNameRejectedAndMaskUntouched)
+{
+    std::uint32_t mask = 0xdead;
+    EXPECT_FALSE(trace::parseFlags("PersistPath,NoSuchFlag", mask));
+    EXPECT_EQ(mask, 0xdeadu); // untouched on failure
+}
+
+TEST(TraceRing, TraceModeDropsAndCountsOnOverflow)
+{
+    Config cfg;
+    cfg.flags = trace::FlagSpecBuffer;
+    cfg.ringEntries = 4;
+    Manager m(cfg, 1);
+
+    recordN(m, 10);
+    // Drop-newest policy: the first 4 events are retained, the other
+    // 6 are counted as dropped (the checker refuses such a stream).
+    EXPECT_EQ(m.recorded(), 4u);
+    EXPECT_EQ(m.dropped(), 6u);
+    const auto snap = m.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].seq, i);
+        EXPECT_EQ(snap[i].addr, Addr{0x1000} + i * blockBytes);
+    }
+}
+
+TEST(TraceRing, UncoredRingIsLargerInTraceMode)
+{
+    Config cfg;
+    cfg.flags = trace::FlagPmController;
+    cfg.ringEntries = 4;
+    Manager m(cfg, 1);
+
+    // The uncored ring (PMC and friends) gets 4x the per-core size.
+    for (unsigned i = 0; i < 16; ++i)
+        m.record(trace::FlagPmController, EventKind::PmcPersistAccept,
+                 i, trace::kNoCore, 0x2000, {});
+    EXPECT_EQ(m.recorded(), 16u);
+    EXPECT_EQ(m.dropped(), 0u);
+}
+
+TEST(TraceRing, FlightModeOverwritesKeepingLastN)
+{
+    Config cfg;
+    cfg.flightRecorder = true;
+    cfg.flightEntries = 8;
+    Manager m(cfg, 1);
+
+    recordN(m, 20);
+    // Overwrite policy: everything is recorded, nothing dropped, and
+    // only the newest 8 events survive -- in record order.
+    EXPECT_EQ(m.recorded(), 20u);
+    EXPECT_EQ(m.dropped(), 0u);
+    const auto snap = m.snapshot();
+    ASSERT_EQ(snap.size(), 8u);
+    for (std::size_t i = 0; i < snap.size(); ++i)
+        EXPECT_EQ(snap[i].seq, 12 + i);
+    // The flight recorder listens to every component.
+    EXPECT_TRUE(m.wants(trace::FlagFaultInject));
+}
+
+TEST(TraceRing, TailAndFormat)
+{
+    Config cfg;
+    cfg.flags = trace::FlagSpecBuffer;
+    Manager m(cfg, 1);
+    recordN(m, 5);
+
+    const auto last2 = m.tail(2);
+    ASSERT_EQ(last2.size(), 2u);
+    EXPECT_EQ(last2[0].seq, 3u);
+    EXPECT_EQ(last2[1].seq, 4u);
+
+    const std::string line = Manager::format(last2[1]);
+    EXPECT_NE(line.find("SpecBuffer.SbWriteBack"), std::string::npos);
+    EXPECT_NE(line.find("Initial->Evict"), std::string::npos);
+
+    const auto lines = m.formatTail(2);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[1], line);
+}
+
+TEST(TraceRing, DumpWritesFlightWindowAndRecordsMarker)
+{
+    Config cfg;
+    cfg.flightRecorder = true;
+    cfg.flightEntries = 16;
+    Manager m(cfg, 1);
+    m.meta.design = "PMEM-Spec";
+    recordN(m, 3);
+
+    const std::string path = tmpPath("dump.txt");
+    std::FILE *f = std::fopen(path.c_str(), "w+");
+    ASSERT_NE(f, nullptr);
+    m.dump(f);
+    std::fflush(f);
+    std::rewind(f);
+    std::string text(4096, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("flight recorder: last 3"), std::string::npos);
+    EXPECT_NE(text.find("(PMEM-Spec)"), std::string::npos);
+    EXPECT_NE(text.find("SbWriteBack"), std::string::npos);
+    // The dump leaves a marker event in the stream.
+    const auto snap = m.snapshot();
+    EXPECT_EQ(snap.back().kind, EventKind::FlightDump);
+    EXPECT_EQ(snap.back().arg, 3u);
+}
+
+TEST(TraceFlight, MachineDumpsFlightWindowOnForcedMisspecTrap)
+{
+    // The Section 8.4 stale-read kernel with a pathological persist
+    // path forces a genuine load misspeculation; with the flight
+    // recorder on, the machine must have captured the automaton
+    // transitions leading into the trap.
+    cpu::MachineConfig cfg;
+    cfg.design = persistency::Design::PmemSpec;
+    cfg.mem.numCores = 1;
+    cfg.mem.l1Bytes = 1024;
+    cfg.mem.l1Ways = 1;
+    cfg.mem.llcBytes = 4096;
+    cfg.mem.llcWays = 1;
+    cfg.mem.persistPathLatency = nsToTicks(2000);
+    cfg.mem.speculationWindow = 4 * nsToTicks(2000);
+    cfg.trace.flightRecorder = true;
+
+    cpu::Machine m(cfg);
+    cpu::Trace t;
+    const Addr set_stride = 64 * blockBytes;
+    const Addr victim = 50 * set_stride;
+    t.push_back({cpu::TraceOp::Store, victim});
+    for (unsigned i = 1; i <= 5; ++i)
+        t.push_back({cpu::TraceOp::Store, i * set_stride});
+    t.push_back({cpu::TraceOp::Compute, 3000});
+    t.push_back({cpu::TraceOp::LoadDep, victim});
+    std::vector<cpu::Trace> traces{std::move(t)};
+    m.setTraces(std::move(traces));
+
+    testing::internal::CaptureStderr();
+    const auto r = m.run();
+    const std::string err = testing::internal::GetCapturedStderr();
+
+    ASSERT_GE(r.loadMisspecs, 1u);
+    ASSERT_NE(m.traceManager(), nullptr);
+    // The trap handler dumped the window to stderr...
+    EXPECT_NE(err.find("flight recorder"), std::string::npos);
+    EXPECT_NE(err.find("SbMisspec"), std::string::npos);
+    // ...and the retained stream ends in trap-path events.
+    bool saw_misspec = false, saw_trap = false, saw_dump = false;
+    for (const Event &e : m.traceManager()->snapshot()) {
+        saw_misspec |= e.kind == EventKind::SbMisspec;
+        saw_trap |= e.kind == EventKind::OsTrap;
+        saw_dump |= e.kind == EventKind::FlightDump;
+    }
+    EXPECT_TRUE(saw_misspec);
+    EXPECT_TRUE(saw_trap);
+    EXPECT_TRUE(saw_dump);
+}
+
+TEST(TraceExport, ChromeJsonCarriesDocumentedSchema)
+{
+    Config cfg;
+    cfg.flags = trace::FlagSpecBuffer | trace::FlagPmController;
+    Manager m(cfg, 2);
+    m.meta.design = "PMEM-Spec";
+    m.meta.flags = cfg.flags;
+    m.meta.specWindow = nsToTicks(640);
+    m.meta.specEntries = 16;
+    m.meta.numCores = 2;
+    m.meta.specAutomaton = true;
+    m.record(trace::FlagSpecBuffer, EventKind::SbWriteBack,
+             nsToTicks(5), 1, 0x1000,
+             {.stateBefore = 0, .stateAfter = 1});
+    m.record(trace::FlagPmController, EventKind::PmcPersistAccept,
+             nsToTicks(7), trace::kNoCore, 0x1000,
+             {.specId = 3, .unit = 0});
+
+    const Json doc =
+        observe::chromeTraceJson(m.snapshot(), m.meta, m.dropped());
+
+    // Golden keys of the "pmemspec-trace-v1" schema (README).
+    const Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_NE(doc.find("displayTimeUnit"), nullptr);
+    const Json *other = doc.find("otherData");
+    ASSERT_NE(other, nullptr);
+    ASSERT_NE(other->find("schema"), nullptr);
+    EXPECT_EQ(other->find("schema")->str(), "pmemspec-trace-v1");
+    EXPECT_EQ(other->find("design")->str(), "PMEM-Spec");
+    EXPECT_EQ(other->find("events")->uintValue(), 2u);
+    EXPECT_EQ(other->find("dropped")->uintValue(), 0u);
+    ASSERT_NE(other->find("specWindowTicks"), nullptr);
+    ASSERT_NE(other->find("numCores"), nullptr);
+
+    // Find the instant event rows (metadata rows use ph == "M").
+    std::size_t instants = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const Json &e = events->at(i);
+        ASSERT_NE(e.find("ph"), nullptr);
+        if (e.find("ph")->str() != "i")
+            continue;
+        ++instants;
+        ASSERT_NE(e.find("name"), nullptr);
+        ASSERT_NE(e.find("cat"), nullptr);
+        ASSERT_NE(e.find("ts"), nullptr);
+        ASSERT_NE(e.find("pid"), nullptr);
+        ASSERT_NE(e.find("tid"), nullptr);
+        ASSERT_NE(e.find("args"), nullptr);
+        ASSERT_NE(e.find("args")->find("seq"), nullptr);
+        ASSERT_NE(e.find("args")->find("addr"), nullptr);
+    }
+    EXPECT_EQ(instants, 2u);
+}
+
+TEST(TraceExport, BinaryLogRoundTrips)
+{
+    Config cfg;
+    cfg.flags = trace::FlagSpecBuffer;
+    Manager m(cfg, 1);
+    m.meta.design = "PMEM-Spec";
+    m.meta.flags = cfg.flags;
+    m.meta.specWindow = 12345;
+    m.meta.specEntries = 8;
+    m.meta.numCores = 1;
+    m.meta.specAutomaton = true;
+    recordN(m, 6);
+
+    const std::string path = tmpPath("roundtrip.bin");
+    ASSERT_TRUE(observe::writeBinaryTrace(path, m.meta, m.snapshot(),
+                                          m.dropped()));
+    std::string err;
+    auto bt = observe::readBinaryTrace(path, &err);
+    std::remove(path.c_str());
+    ASSERT_TRUE(bt.has_value()) << err;
+    EXPECT_EQ(bt->meta.design, "PMEM-Spec");
+    EXPECT_EQ(bt->meta.flags, m.meta.flags);
+    EXPECT_EQ(bt->meta.specWindow, 12345u);
+    EXPECT_EQ(bt->meta.specEntries, 8u);
+    EXPECT_EQ(bt->meta.numCores, 1u);
+    EXPECT_TRUE(bt->meta.specAutomaton);
+    EXPECT_EQ(bt->dropped, 0u);
+    EXPECT_EQ(bt->events, m.snapshot());
+}
+
+TEST(TraceExport, LabelledPathKeepsExtension)
+{
+    EXPECT_EQ(observe::tracePathWithLabel("out.json", "lat500"),
+              "out.lat500.json");
+    EXPECT_EQ(observe::tracePathWithLabel("out.bin", "a/b"),
+              "out.a_b.bin");
+    EXPECT_EQ(observe::tracePathWithLabel("out.json", ""), "out.json");
+    EXPECT_EQ(observe::tracePathWithLabel("trace", "x"), "trace.x");
+}

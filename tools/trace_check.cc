@@ -1,0 +1,57 @@
+/**
+ * @file
+ * trace_check: offline automaton oracle for PMTRACE1 binary logs.
+ *
+ * For every trace file on the command line, replays the event stream
+ * through the independent Figure 5 automaton / spec-ID order replica
+ * (observe::checkEvents) and prints the per-file summary.  Exits
+ * non-zero if any file is unreadable or any checker disagreement
+ * survives, so CI can gate on "the hardware detector and the offline
+ * model agree on every misspeculation".
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "observe/trace_checker.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pmemspec;
+
+    std::vector<std::string> paths(argv + 1, argv + argc);
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: trace_check <trace.bin> [trace.bin ...]\n"
+                     "\n"
+                     "Replays PMTRACE1 binary logs (produced with "
+                     "--trace=... --trace-out=file.bin)\n"
+                     "through the offline speculation-automaton checker "
+                     "and reports disagreements\n"
+                     "between the hardware misspeculation detector and "
+                     "the independently derived\n"
+                     "verdicts.  Exit status is the number of failing "
+                     "files (capped at 125).\n");
+        return 2;
+    }
+
+    int failing = 0;
+    for (const auto &path : paths) {
+        const observe::CheckResult res = observe::checkTraceFile(path);
+        std::printf("%s: %s\n", path.c_str(), res.summary().c_str());
+        for (const auto &note : res.notes)
+            std::printf("  note: %s\n", note.c_str());
+        for (const auto &d : res.disagreements)
+            std::printf("  DISAGREE: %s\n", d.c_str());
+        if (!res.ok())
+            ++failing;
+        std::fflush(stdout);
+    }
+
+    if (failing)
+        std::fprintf(stderr, "trace_check: %d of %zu file(s) FAILED\n",
+                     failing, paths.size());
+    return failing > 125 ? 125 : failing;
+}
