@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <set>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 #include "faultinject/fault_injector.hh"
 #include "faultinject/fault_plan.hh"
+#include "faultinject/reorder_explorer.hh"
 #include "runtime/virtual_os.hh"
 
 namespace pmemspec::faultinject
@@ -31,38 +34,59 @@ hexMask(std::uint64_t m)
     return buf;
 }
 
+/** Torn frontiers are exhaustive up to this word count (<= 14 proper
+ *  subsets); wider frontiers use subsetMasks()'s sampled regime. */
+constexpr unsigned tornExhaustiveBits = 4;
+
 /**
- * The torn word subsets to try for a frontier `words` words wide.
- * Subsets "none" and "all" are the clean prefixes k and k+1 -- the
- * plain enumeration already covers them -- so only proper nonempty
- * subsets are interesting. Up to 4 words that is exhaustive (<= 14
- * masks); wider frontiers get a deterministic bounded pattern set:
- * each single word, each all-but-one, and the two checkerboards.
+ * Never fires; records what the reference (uninterrupted) execution
+ * persists. Reorder mode needs two things from that run:
+ *
+ *  - the full tagged persist stream (addr, bytes, ordering tag),
+ *    copied off the in-flight queue as each write is observed. A
+ *    FASE is deterministic given the PM state and every crash trial
+ *    of the operation re-runs it from the identical restored state,
+ *    so stream entries [k, k+depth) are exactly the speculation
+ *    window a cut at prefix k interrupted -- including the entries
+ *    the armed trial never got to issue because its plan fired the
+ *    moment write k+1 was queued;
+ *  - the dirty-block set: the only blocks any trial state of this
+ *    operation can differ in (recovery writes only the logged data
+ *    blocks and the log region, all touched here), which makes
+ *    per-state rewind, digest and oracle compares proportional to
+ *    the working set instead of the PM size.
  */
-std::vector<std::uint64_t>
-tornMasks(std::size_t words, unsigned cap)
+class RecordingPlan : public FaultPlan
 {
-    std::vector<std::uint64_t> masks;
-    const std::size_t w = std::min<std::size_t>(words, 64);
-    if (w < 2)
-        return masks;
-    const std::uint64_t full =
-        w == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
-    if (w <= 4) {
-        for (std::uint64_t m = 1; m < full; ++m)
-            masks.push_back(m);
-        return masks;
+  public:
+    RecordingPlan(const runtime::PersistentMemory &pm,
+                  std::vector<runtime::PersistentMemory::Pending> &stream,
+                  std::set<Addr> &blocks)
+        : pm(pm), stream(stream), blocks(blocks)
+    {
     }
-    for (std::size_t i = 0; i < w && masks.size() < cap; ++i)
-        masks.push_back(std::uint64_t{1} << i);
-    for (std::size_t i = 0; i < w && masks.size() < cap; ++i)
-        masks.push_back(full & ~(std::uint64_t{1} << i));
-    if (masks.size() < cap)
-        masks.push_back(full & 0x5555555555555555ULL);
-    if (masks.size() < cap)
-        masks.push_back(full & 0xAAAAAAAAAAAAAAAAULL);
-    return masks;
-}
+
+    std::optional<FaultAction>
+    onAccess(const AccessInfo &info) override
+    {
+        if (info.op == runtime::MemOp::Write && info.bytes > 0) {
+            // The observer runs right after the store was queued, so
+            // the youngest in-flight entry is this write, tags and
+            // all.
+            stream.push_back(pm.pendingEntry(pm.inFlightCount() - 1));
+            const Addr last = info.addr + info.bytes - 1;
+            for (Addr b = blockAlign(info.addr); b <= blockAlign(last);
+                 b += blockBytes)
+                blocks.insert(b);
+        }
+        return std::nullopt;
+    }
+
+  private:
+    const runtime::PersistentMemory &pm;
+    std::vector<runtime::PersistentMemory::Pending> &stream;
+    std::set<Addr> &blocks;
+};
 
 } // namespace
 
@@ -85,10 +109,24 @@ exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
 
     auto fail = [&](std::size_t op, std::size_t k, const char *what) {
         ++res.failures;
+        // Cap the stored messages: a pathological workload can fail
+        // at thousands of states, and the count is what matters past
+        // the first examples.
+        if (res.messages.size() >= opts.maxMessages) {
+            ++res.messagesSuppressed;
+            return;
+        }
         res.messages.push_back(std::string(wl.name()) + ": op " +
                                std::to_string(op) + ", crash prefix " +
                                std::to_string(k) + ": " + what);
     };
+
+    const unsigned windowDepth =
+        std::min<unsigned>(opts.windowDepth, 16);
+    ReorderConfig rcfg;
+    rcfg.exhaustiveBits = opts.reorderExhaustiveBits;
+    rcfg.maxSubsets = opts.maxReorderSubsets;
+    rcfg.seed = opts.enumSeed;
 
     // After recovery the two images must agree once in-flight
     // persists drain: recovery may not leave state that exists only
@@ -109,8 +147,17 @@ exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
         // land *past* the durable commit point. Recovery then keeps
         // the new state -- the "all" of all-or-nothing -- and the
         // oracle must recognise it. Run the op once uninterrupted to
-        // learn what that state looks like, then rewind.
+        // learn what that state looks like, then rewind. In reorder
+        // mode the same run also records the operation's dirty-block
+        // set: recovery only ever writes the logged data blocks and
+        // the log region, both of which this run touches, so every
+        // trial state of this op agrees with `pre` outside it.
+        std::set<Addr> dirtySet;
+        std::vector<runtime::PersistentMemory::Pending> refStream;
         inj.clearPlans();
+        if (opts.reorderings)
+            inj.addPlan(std::make_unique<RecordingPlan>(pm, refStream,
+                                                        dirtySet));
         rt.runFase(0,
                    [&](runtime::Transaction &tx) { wl.runOp(tx, op); });
         pm.persistAll();
@@ -119,12 +166,57 @@ exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
         pm.restore(pre);
         rt.recoverAll();
         pm.persistAll();
+        inj.clearPlans();
+        const std::vector<Addr> dirty(dirtySet.begin(), dirtySet.end());
 
         auto committedDurably = [&] {
             pm.persistAll();
             return std::memcmp(pm.persistedImage(), post_image.data(),
                                pm.size()) == 0;
         };
+
+        // Dirty-restricted oracle compares for reorder trials: the
+        // images agree with the reference outside the dirty blocks
+        // by construction, so block-limited equality is exact and
+        // orders of magnitude cheaper than whole-image memcmp.
+        auto committedDurablyDirty = [&] {
+            pm.persistAll();
+            for (Addr b : dirty) {
+                if (std::memcmp(pm.persistedImage() + b,
+                                post_image.data() + b, blockBytes) != 0)
+                    return false;
+            }
+            return true;
+        };
+        auto convergedDirty = [&] {
+            pm.persistAll();
+            for (Addr b : dirty) {
+                if (std::memcmp(pm.volatileImage() + b,
+                                pm.persistedImage() + b,
+                                blockBytes) != 0)
+                    return false;
+            }
+            return true;
+        };
+
+        // Reduction (c)'s digest: CRC-32C over the dirty blocks of
+        // the persisted image, two independent seeds folded into 64
+        // bits (one 32-bit pass would silently merge distinct states
+        // at birthday-collision rates the state counts here reach).
+        auto digestDirty = [&] {
+            std::uint32_t a = 0;
+            std::uint32_t b = 0xdecafbad;
+            for (Addr blk : dirty) {
+                a = crc32c(pm.persistedImage() + blk, blockBytes, a);
+                b = crc32c(pm.persistedImage() + blk, blockBytes, b);
+            }
+            return (static_cast<std::uint64_t>(a) << 32) | b;
+        };
+
+        // Digest seen-set, scoped to this operation: two crash
+        // states with equal durable images recover identically, so
+        // the second is counted as deduped and skipped.
+        std::set<std::uint64_t> seenDigests;
 
         bool committed = false;
         for (std::size_t k = 0; !committed; ++k) {
@@ -160,6 +252,20 @@ exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
 
             if (crashed) {
                 ++res.crashPoints;
+                // Reorder mode: the speculation window a cut at
+                // prefix k interrupted -- reference-stream entries
+                // [k, k+depth) -- and the post-crash (pre-recovery)
+                // image, taken before the prefix trial's recovery
+                // mutates the state.
+                std::vector<runtime::PersistentMemory::Pending> window;
+                runtime::PersistentMemory::Snapshot crashSnap;
+                if (opts.reorderings && k < refStream.size()) {
+                    const std::size_t end = std::min<std::size_t>(
+                        k + windowDepth, refStream.size());
+                    window.assign(refStream.begin() + k,
+                                  refStream.begin() + end);
+                    crashSnap = pm.snapshot();
+                }
                 try {
                     rt.recoverAll();
                 } catch (const runtime::UnrecoverableCorruption &) {
@@ -181,6 +287,83 @@ exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
                     fail(op, k, "volatile/persisted images diverge "
                                 "after recovery");
 
+                if (!window.empty()) {
+                    ReorderHooks hooks;
+                    hooks.rewind = [&] {
+                        pm.restoreBlocks(crashSnap, dirty);
+                    };
+                    hooks.isNoop =
+                        [&](const runtime::PersistentMemory::Pending
+                                &p) {
+                            return std::memcmp(pm.persistedImage() +
+                                                   p.addr,
+                                               p.bytes.data(),
+                                               p.bytes.size()) == 0;
+                        };
+                    hooks.apply =
+                        [&](const runtime::PersistentMemory::Pending
+                                &p) {
+                            pm.overlayDurable(p.addr, p.bytes.data(),
+                                              p.bytes.size());
+                        };
+                    hooks.digest = digestDirty;
+                    hooks.check = [&](std::uint64_t mask,
+                                      std::size_t applied) {
+                        (void)applied;
+                        const std::string ctx =
+                            " (reorder mask=" + hexMask(mask) + ")";
+                        try {
+                            rt.recoverAll();
+                        } catch (const runtime::
+                                     UnrecoverableCorruption &) {
+                            // The media is clean here: a reordered
+                            // window is exactly what the barrier
+                            // discipline must tolerate, so refusing
+                            // it means the structure published a
+                            // validity marker its persists did not
+                            // back -- the WAW-inversion bug class.
+                            ++res.corruptionReported;
+                            fail(op, k,
+                                 ("in-window persist reordering "
+                                  "reported unrecoverable corruption" +
+                                  ctx)
+                                     .c_str());
+                            return;
+                        }
+                        if (!wl.checkInvariants())
+                            fail(op, k,
+                                 ("invariants violated after "
+                                  "reordered-crash recovery" + ctx)
+                                     .c_str());
+                        if (!wl.matchesModel() &&
+                            !committedDurablyDirty())
+                            fail(op, k,
+                                 ("recovered state is neither the "
+                                  "pre- nor the post-operation state "
+                                  "(atomicity under persist "
+                                  "reordering)" + ctx)
+                                     .c_str());
+                        if (!convergedDirty())
+                            fail(op, k,
+                                 ("volatile/persisted images diverge "
+                                  "after reordered-crash recovery" +
+                                  ctx)
+                                     .c_str());
+                    };
+                    const ReorderCounts rc = exploreReorderWindow(
+                        window, rcfg, hooks, seenDigests);
+                    res.reorderWindows += rc.windows;
+                    res.naiveStates += rc.naiveStates;
+                    res.reorderStatesExplored += rc.statesExplored;
+                    res.reorderStatesDeduped += rc.statesDeduped;
+                    res.elidedPersists += rc.elidedPersists;
+                    res.orderingsCollapsed += rc.orderingsCollapsed;
+                    // Leave a clean slate for the next k: the last
+                    // explored state's recovery is still in the
+                    // images.
+                    pm.restoreBlocks(crashSnap, dirty);
+                }
+
                 if (!opts.tornWrites || frontier_words < 2)
                     continue;
 
@@ -192,7 +375,8 @@ exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
                 // undo log every torn frontier is detected and
                 // discarded, so recovery is expected to succeed.
                 for (std::uint64_t mask :
-                     tornMasks(frontier_words, opts.maxTornSubsets)) {
+                     subsetMasks(frontier_words, opts.maxTornSubsets,
+                                 opts.enumSeed, tornExhaustiveBits)) {
                     pm.restore(pre);
                     rt.recoverAll();
                     pm.persistAll();

@@ -23,12 +23,19 @@
  * inner loop and simultaneously discovers the operation's persist
  * count, so every crash point of every operation is covered without
  * the workload declaring its write counts.
+ *
+ * Two extensions widen the failure model per crash point:
+ * tornWrites adds word-subset frontiers (media tearing), and
+ * reorderings adds the speculation window's order-consistent persist
+ * subsets (see reorder_explorer.hh) -- the crash states where
+ * WAW-inversion bugs hide, which no prefix can produce.
  */
 
 #ifndef PMEMSPEC_FAULTINJECT_CRASH_EXPLORER_HH
 #define PMEMSPEC_FAULTINJECT_CRASH_EXPLORER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -92,7 +99,53 @@ struct ExploreResult
      *  trials, which can never legitimately corrupt). */
     std::size_t corruptionReported = 0;
     std::size_t failures = 0;    ///< oracle violations
-    std::vector<std::string> messages; ///< one per violation
+    /** One per violation, capped at ExploreOptions::maxMessages;
+     *  the overflow is counted, not stored. */
+    std::vector<std::string> messages;
+    /** Violation messages dropped by the cap (failures still counts
+     *  every one). */
+    std::size_t messagesSuppressed = 0;
+
+    // ---- Reorder-mode counters (ExploreOptions::reorderings) ----
+
+    /** Crash windows enumerated (one per crash point with in-flight
+     *  entries beyond the cut). */
+    std::uint64_t reorderWindows = 0;
+    /** Crash states a naive checker would visit at the same window
+     *  depth: every (order-consistent subset, application order)
+     *  pair. Saturating. */
+    std::uint64_t naiveStates = 0;
+    /** Reordered states actually recovered and checked (novel
+     *  digests). */
+    std::uint64_t reorderStatesExplored = 0;
+    /** Reordered states skipped because their post-crash image
+     *  digest had been seen (reduction (c)). */
+    std::uint64_t reorderStatesDeduped = 0;
+    /** Persists dropped or skipped as no-ops (reduction (a)). */
+    std::uint64_t elidedPersists = 0;
+    /** Application orders collapsed into canonical representatives
+     *  (reduction (b)). Saturating. */
+    std::uint64_t orderingsCollapsed = 0;
+
+    /** States a naive enumerator visits but this one never touches:
+     *  the headline number of the three reductions combined. */
+    std::uint64_t
+    statesPruned() const
+    {
+        const std::uint64_t visited =
+            reorderStatesExplored + reorderStatesDeduped;
+        return naiveStates > visited ? naiveStates - visited : 0;
+    }
+
+    /** naive / explored -- the measured reduction factor. */
+    double
+    reductionFactor() const
+    {
+        const std::uint64_t denom =
+            reorderStatesExplored ? reorderStatesExplored : 1;
+        return static_cast<double>(naiveStates) /
+               static_cast<double>(denom);
+    }
 
     bool passed() const { return failures == 0; }
 };
@@ -115,6 +168,33 @@ struct ExploreOptions
      *  nonempty subset) when the frontier is at most 4 words wide,
      *  else a bounded pattern set capped at this many masks. */
     unsigned maxTornSubsets = 12;
+
+    /**
+     * Reorder mode: for every crash point, additionally enumerate
+     * the order-consistent subsets of the next `windowDepth`
+     * in-flight persists -- the states a power failure can leave
+     * when the speculation window reordered persist arrivals -- and
+     * run the recovery oracles on each novel one. See
+     * reorder_explorer.hh for the ordering model and the three
+     * reductions; the counters land in ExploreResult.
+     */
+    bool reorderings = false;
+    /** Window entries enumerated past each crash point. Clamped to
+     *  16 (subset-DP limit); callers with a timing model should also
+     *  clamp to mem::persistsInWindow(window, path_latency) -- depth
+     *  beyond the hardware window checks impossible states. */
+    unsigned windowDepth = 6;
+    /** Sampled-regime cap when the (elision-reduced) window is wider
+     *  than reorderExhaustiveBits. */
+    unsigned maxReorderSubsets = 4096;
+    /** Exhaustive subset enumeration up to this window size. */
+    unsigned reorderExhaustiveBits = 12;
+    /** Seed for every sampled (non-exhaustive) mask enumeration,
+     *  torn and reorder alike: same seed, same masks, every run. */
+    std::uint64_t enumSeed = 0x9e3779b97f4a7c15ULL;
+    /** Violation-message cap (first N kept, the rest counted in
+     *  messagesSuppressed). */
+    std::size_t maxMessages = 64;
 };
 
 /** Run the exhaustive crash-prefix enumeration over one workload. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "mem/pm_controller.hh"
 
 namespace pmemspec::faultinject
 {
@@ -118,7 +119,7 @@ FaultInjector::fire(const FaultAction &action)
       case FaultKind::TornWrite:
         injectTornWrite(action.prefix, action.mask); // throws
       case FaultKind::PowerCut:
-        injectPowerCut(action.prefix); // throws PowerFailure
+        injectPowerCut(action.prefix, action.capture); // throws
     }
 }
 
@@ -183,7 +184,8 @@ FaultInjector::injectDelayedPersist(Addr addr, Tick delay)
 }
 
 void
-FaultInjector::injectPowerCut(std::size_t prefix)
+FaultInjector::injectPowerCut(std::size_t prefix,
+                              std::size_t capture_depth)
 {
     ++powerCuts;
     PMEMSPEC_TRACE(traceMgr, FlagFaultInject,
@@ -196,6 +198,13 @@ FaultInjector::injectPowerCut(std::size_t prefix)
     const std::size_t frontier = durable < pm.inFlightCount()
                                      ? pm.pendingEntryWords(durable)
                                      : 0;
+    // The speculation window's contents at the outage: the queue
+    // entries the crash is about to lose, oldest first. Copy them
+    // out before crash() clears the queue.
+    windowCapture.clear();
+    for (std::size_t i = 0;
+         i < capture_depth && durable + i < pm.inFlightCount(); ++i)
+        windowCapture.push_back(pm.pendingEntry(durable + i));
     pm.crash(durable);
     throw PowerFailure{durable, false, frontier};
 }
@@ -253,7 +262,8 @@ FaultInjector::persistArrives(Addr block, SpecId id)
                    trace::kNoCore, block, {.specId = id});
     auto it = specTrack.find(block);
     if (it != specTrack.end()) {
-        if (eq.now() - it->second.at <= window && id < it->second.id) {
+        if (eq.now() - it->second.at <= window &&
+            mem::storeOrderViolated(it->second.id, id)) {
             PMEMSPEC_TRACE(traceMgr, FlagPmController,
                            trace::EventKind::PmcStoreOrderViolation,
                            eq.now(), trace::kNoCore, block,

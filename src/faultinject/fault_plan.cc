@@ -1,0 +1,54 @@
+#include "fault_plan.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace pmemspec::faultinject
+{
+
+std::vector<std::uint64_t>
+subsetMasks(std::size_t n, unsigned cap, std::uint64_t seed,
+            unsigned exhaustive_bits)
+{
+    std::vector<std::uint64_t> masks;
+    const std::size_t w = std::min<std::size_t>(n, 64);
+    if (w < 2)
+        return masks; // no proper nonempty subset is interesting
+    const std::uint64_t full =
+        w == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << w) - 1;
+
+    if (w <= exhaustive_bits) {
+        masks.reserve(full - 1);
+        for (std::uint64_t m = 1; m < full; ++m)
+            masks.push_back(m);
+        return masks;
+    }
+
+    // Fixed pattern family first (deterministic order), then a
+    // seeded top-up so a generous cap still gets coverage beyond
+    // the patterns. Everything below is dup-free by construction
+    // except the random draws, which check the seen set.
+    for (std::size_t i = 0; i < w && masks.size() < cap; ++i)
+        masks.push_back(std::uint64_t{1} << i);
+    for (std::size_t i = 0; i < w && masks.size() < cap; ++i)
+        masks.push_back(full & ~(std::uint64_t{1} << i));
+    if (masks.size() < cap)
+        masks.push_back(full & 0x5555555555555555ULL);
+    if (masks.size() < cap)
+        masks.push_back(full & 0xAAAAAAAAAAAAAAAAULL);
+
+    Rng rng(seed ^ static_cast<std::uint64_t>(w));
+    for (unsigned attempts = 16 * cap;
+         masks.size() < cap && attempts > 0; --attempts) {
+        const std::uint64_t m = rng.next() & full;
+        if (m == 0 || m == full)
+            continue;
+        if (std::find(masks.begin(), masks.end(), m) != masks.end())
+            continue;
+        masks.push_back(m);
+    }
+    return masks;
+}
+
+} // namespace pmemspec::faultinject

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/types.hh"
 #include "runtime/persistent_memory.hh"
@@ -75,7 +76,33 @@ struct FaultAction
      *  (bit i = i-th overlapped 8-byte word). BitFlip: XOR mask
      *  applied to the word (0 means flip bit 0). */
     std::uint64_t mask = 0;
+    /** PowerCut: speculation-window entries to capture from the
+     *  crash frontier onward (FaultInjector::capturedWindow()). */
+    std::size_t capture = 0;
 };
+
+/**
+ * The one deterministic subset enumerator behind both the torn-write
+ * frontier masks and the reorder explorer's sampled crash-window
+ * subsets. Yields *proper nonempty* subsets of an `n`-element set as
+ * bit masks ("none" and "all" are the clean prefixes k and k+1 --
+ * the plain enumeration already covers them):
+ *
+ *  - n <= exhaustive_bits: every proper nonempty subset, in
+ *    ascending mask order (cap ignored -- exhaustive means
+ *    exhaustive);
+ *  - wider sets: a fixed pattern family (each single element, each
+ *    all-but-one, the two checkerboards) topped up with seeded
+ *    Rng-drawn masks, deduplicated, capped at `cap`.
+ *
+ * Byte-identical across runs and platforms for equal arguments: the
+ * pattern order is fixed and the fill uses the repo's own
+ * deterministic xoshiro Rng seeded with `seed ^ n`. Unit-tested for
+ * exactly that property.
+ */
+std::vector<std::uint64_t> subsetMasks(std::size_t n, unsigned cap,
+                                       std::uint64_t seed,
+                                       unsigned exhaustive_bits);
 
 /** Trigger logic deciding when a fault fires. */
 class FaultPlan
@@ -158,7 +185,13 @@ class AddrTouchPlan : public FaultPlan
 class PowerCutPlan : public FaultPlan
 {
   public:
-    explicit PowerCutPlan(std::size_t prefix) : prefix(prefix) {}
+    /** @param capture_depth Window entries to capture at the crash
+     *  frontier for reorder exploration (0 = plain power cut). */
+    explicit PowerCutPlan(std::size_t prefix,
+                          std::size_t capture_depth = 0)
+        : prefix(prefix), captureDepth(capture_depth)
+    {
+    }
 
     std::optional<FaultAction>
     onAccess(const AccessInfo &info) override
@@ -168,11 +201,13 @@ class PowerCutPlan : public FaultPlan
         if (++writesSeen != prefix + 1)
             return std::nullopt;
         fired = true;
-        return FaultAction{FaultKind::PowerCut, info.addr, prefix, 0};
+        return FaultAction{FaultKind::PowerCut, info.addr, prefix, 0,
+                           0, captureDepth};
     }
 
   private:
     std::size_t prefix;
+    std::size_t captureDepth;
     std::size_t writesSeen = 0;
     bool fired = false;
 };

@@ -1,6 +1,7 @@
 #include "pmds_workloads.hh"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -10,6 +11,9 @@
 #include "pmds/pm_hashmap.hh"
 #include "pmds/pm_queue.hh"
 #include "pmds/pm_rbtree.hh"
+#include "pmds/tatp.hh"
+#include "pmds/tpcc.hh"
+#include "pmds/vacation.hh"
 
 namespace pmemspec::faultinject
 {
@@ -348,6 +352,292 @@ class KvWorkload : public CrashWorkload
     std::map<std::uint64_t, std::uint8_t> model;
 };
 
+/** TATP UPDATE_LOCATION over a 12-subscriber table: index probe plus
+ *  row overwrite per op. The shadow is the expected VLR location per
+ *  subscriber. */
+class TatpWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "tatp"; }
+
+    std::size_t pmBytes() const override { return std::size_t{1} << 21; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        (void)rt;
+        db = std::make_unique<pmds::TatpDb>(pm, subscribers);
+        model.assign(subscribers, 0);
+    }
+
+    std::size_t numOps() const override { return 5; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        const auto [s, loc] = schedule(op);
+        db->updateLocation(tx, subNbr(s), loc);
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        const auto [s, loc] = schedule(op);
+        model[s] = loc;
+    }
+
+    bool
+    matchesModel() const override
+    {
+        for (std::uint64_t s = 0; s < subscribers; ++s) {
+            if (db->location(s) != model[s])
+                return false;
+        }
+        return true;
+    }
+
+    bool checkInvariants() const override { return db->checkInvariants(); }
+
+  private:
+    static constexpr std::size_t subscribers = 12;
+
+    /** The TATP spec's reversible subscriber numbering (tatp.cc). */
+    static std::uint64_t
+    subNbr(std::uint64_t s)
+    {
+        return s * 2654435761ULL % (std::uint64_t{1} << 40);
+    }
+
+    static std::pair<std::uint64_t, std::uint32_t>
+    schedule(std::size_t op)
+    {
+        // Repeats subscriber 3 so an update overwrites an update.
+        static constexpr std::pair<std::uint64_t, std::uint32_t> ops[] = {
+            {3, 100}, {7, 200}, {3, 300}, {0, 400}, {11, 500}};
+        return ops[op];
+    }
+
+    std::unique_ptr<pmds::TatpDb> db;
+    std::vector<std::uint32_t> model;
+};
+
+/** TPC-C NEW_ORDER over a two-district, 16-item warehouse. The
+ *  shadow tracks the aggregate checkers: per-district next_o_id,
+ *  orders placed, and total stock. */
+class TpccWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "tpcc"; }
+
+    std::size_t pmBytes() const override { return std::size_t{1} << 21; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        (void)rt;
+        pmds::TpccConfig cfg;
+        cfg.districts = 2;
+        cfg.customersPerDistrict = 4;
+        cfg.items = 16;
+        cfg.maxOrders = 64;
+        db = std::make_unique<pmds::TpccDb>(pm, cfg);
+        nextOid = {db->nextOrderId(0), db->nextOrderId(1)};
+        orders = db->ordersPlaced();
+        stockSum = db->totalStock();
+    }
+
+    std::size_t numOps() const override { return 2; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        db->newOrder(tx, district(op), op % 4, lines(op));
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        ++nextOid[district(op)];
+        ++orders;
+        for (const auto &l : lines(op))
+            stockSum -= l.quantity;
+    }
+
+    bool
+    matchesModel() const override
+    {
+        return db->nextOrderId(0) == nextOid[0] &&
+               db->nextOrderId(1) == nextOid[1] &&
+               db->ordersPlaced() == orders &&
+               db->totalStock() == stockSum;
+    }
+
+    bool checkInvariants() const override { return db->checkInvariants(); }
+
+  private:
+    static unsigned district(std::size_t op) { return op % 2; }
+
+    /** Five lines (the TPC-C minimum) with fixed items/quantities. */
+    static std::vector<pmds::OrderLineReq>
+    lines(std::size_t op)
+    {
+        std::vector<pmds::OrderLineReq> out;
+        for (std::uint32_t i = 0; i < 5; ++i)
+            out.push_back({static_cast<std::uint32_t>(
+                               (op * 5 + i * 3) % 16),
+                           i + 1});
+        return out;
+    }
+
+    std::unique_ptr<pmds::TpccDb> db;
+    std::array<std::uint64_t, 2> nextOid{};
+    std::uint64_t orders = 0;
+    std::uint64_t stockSum = 0;
+};
+
+/** Vacation MAKE_RESERVATION / UPDATE_TABLES over 8 resources per
+ *  table. The shadow tracks the seat-conservation aggregates. */
+class VacationWorkload : public CrashWorkload
+{
+  public:
+    const char *name() const override { return "vacation"; }
+
+    std::size_t pmBytes() const override { return std::size_t{1} << 21; }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        (void)rt;
+        pmds::VacationConfig cfg;
+        cfg.resourcesPerTable = 8;
+        cfg.customers = 4;
+        cfg.numQueries = 2;
+        cfg.partitionsPerTable = 2;
+        db = std::make_unique<pmds::VacationDb>(pm, cfg);
+        reservations = db->totalReservations();
+        usedSeats = db->totalUsedSeats();
+    }
+
+    std::size_t numOps() const override { return 4; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        using pmds::ResourceKind;
+        switch (op) {
+          case 0:
+            db->makeReservation(tx, ResourceKind::Car, {1, 3}, 0);
+            break;
+          case 1:
+            db->makeReservation(tx, ResourceKind::Flight, {2, 5}, 1);
+            break;
+          case 2:
+            db->updateTables(tx, ResourceKind::Room, 4, 999);
+            break;
+          default:
+            db->makeReservation(tx, ResourceKind::Room, {4, 6}, 2);
+            break;
+        }
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        // Every resource starts with free seats, so each reservation
+        // op books exactly one seat; the price update books none.
+        if (op != 2) {
+            ++reservations;
+            ++usedSeats;
+        }
+    }
+
+    bool
+    matchesModel() const override
+    {
+        return db->totalReservations() == reservations &&
+               db->totalUsedSeats() == usedSeats;
+    }
+
+    bool checkInvariants() const override { return db->checkInvariants(); }
+
+  private:
+    std::unique_ptr<pmds::VacationDb> db;
+    std::uint64_t reservations = 0;
+    std::uint64_t usedSeats = 0;
+};
+
+/**
+ * Two block-disjoint logged cells per FASE, with the undo logs'
+ * ordering tags toggled at setup. Two cells matter: the count bump
+ * shares log block 0 with entry slot 0, so entry 0's publication is
+ * accidentally block-order-protected -- the bug window only opens at
+ * the *second* log entry of a FASE, whose slot is block-disjoint
+ * from the count word.
+ */
+class SpecOrderingWorkload : public CrashWorkload
+{
+  public:
+    explicit SpecOrderingWorkload(bool ordering_tags)
+        : tags(ordering_tags)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return tags ? "ordered_undo" : "misordered_undo";
+    }
+
+    void
+    setup(runtime::PersistentMemory &pm,
+          runtime::FaseRuntime &rt) override
+    {
+        rt.setLogOrderingTags(tags);
+        mem = &pm;
+        cells = pm.alloc(4 * 64, 64);
+        pm.writeU64(cellA(), 1);
+        pm.writeU64(cellB(), 2);
+        pm.persistAll();
+        model = {1, 2};
+    }
+
+    std::size_t numOps() const override { return 3; }
+
+    void
+    runOp(Transaction &tx, std::size_t op) override
+    {
+        tx.writeU64(cellA(), 0x1000 + op);
+        tx.writeU64(cellB(), 0x2000 + op);
+    }
+
+    void
+    applyToModel(std::size_t op) override
+    {
+        model = {0x1000 + op, 0x2000 + op};
+    }
+
+    bool
+    matchesModel() const override
+    {
+        return mem->readU64(cellA()) == model.first &&
+               mem->readU64(cellB()) == model.second;
+    }
+
+    bool checkInvariants() const override { return true; }
+
+  private:
+    Addr cellA() const { return cells; }
+    Addr cellB() const { return cells + 128; }
+
+    bool tags;
+    runtime::PersistentMemory *mem = nullptr;
+    Addr cells = 0;
+    std::pair<std::uint64_t, std::uint64_t> model{};
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<CrashWorkload>>
@@ -360,6 +650,31 @@ makeStandardWorkloads()
     out.push_back(std::make_unique<RbTreeWorkload>());
     out.push_back(std::make_unique<KvWorkload>());
     return out;
+}
+
+std::vector<std::unique_ptr<CrashWorkload>>
+makeMacroWorkloads()
+{
+    std::vector<std::unique_ptr<CrashWorkload>> out;
+    out.push_back(std::make_unique<TatpWorkload>());
+    out.push_back(std::make_unique<TpccWorkload>());
+    out.push_back(std::make_unique<VacationWorkload>());
+    return out;
+}
+
+std::vector<std::unique_ptr<CrashWorkload>>
+makeAllWorkloads()
+{
+    auto out = makeStandardWorkloads();
+    for (auto &wl : makeMacroWorkloads())
+        out.push_back(std::move(wl));
+    return out;
+}
+
+std::unique_ptr<CrashWorkload>
+makeSpecOrderingBugWorkload(bool ordering_tags)
+{
+    return std::make_unique<SpecOrderingWorkload>(ordering_tags);
 }
 
 } // namespace pmemspec::faultinject

@@ -28,6 +28,23 @@
 namespace pmemspec::mem
 {
 
+/**
+ * Upper bound on the persists of one core that can be *simultaneously*
+ * inside the speculation window: entries leave the store queue at
+ * commit and arrive at the PMC `path_latency` later, so at most one
+ * window's worth of path slots can hold not-yet-accepted persists.
+ * The crash-state reorder explorer uses this as the physical clamp
+ * on its window depth -- exploring reorderings deeper than the
+ * hardware window would check states no real outage can produce.
+ */
+constexpr std::size_t
+persistsInWindow(Tick window, Tick path_latency)
+{
+    return path_latency == 0
+               ? std::size_t{64}
+               : static_cast<std::size_t>(window / path_latency) + 1;
+}
+
 /** Per-core FIFO from the store queue to the PM controller. */
 class PersistPath : public sim::SimObject
 {

@@ -304,7 +304,7 @@ PmController::checkStoreOrder(Addr block_addr, SpecId spec_id)
     auto it = specTrack.find(block_addr);
     if (it != specTrack.end()) {
         if (curTick() - it->second.at <= window &&
-            spec_id < it->second.id) {
+            storeOrderViolated(it->second.id, spec_id)) {
             // A store ordered *earlier* by the happens-before order
             // persisted after a later one: missing-update hazard.
             PMEMSPEC_TRACE(traceMgr, FlagPmController,

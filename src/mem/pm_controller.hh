@@ -38,6 +38,22 @@
 namespace pmemspec::mem
 {
 
+/**
+ * The Section 5.2.2 store-order predicate, shared by the timing
+ * PMC's order check, the functional fault injector's mirror of it,
+ * and the crash-state reorder explorer's ordering-edge construction:
+ * given the highest speculation ID already recorded for a block
+ * within the window, an arriving persist with a *lower* ID persisted
+ * after a store that happens-before ordered later -- a WAW inversion
+ * (missing-update hazard). Equal IDs are the same store re-observed
+ * and are never a violation.
+ */
+constexpr bool
+storeOrderViolated(SpecId recorded, SpecId arriving)
+{
+    return arriving < recorded;
+}
+
 /** Outcome of a checked PM read (media-fault aware read path). */
 enum class ReadStatus
 {

@@ -233,6 +233,20 @@ class FaseRuntime
     void setTraceManager(trace::Manager *mgr) { traceMgr = mgr; }
     LogGranularity granularity() const { return logGranularity; }
 
+    /**
+     * Checker hook: toggle the ordering (spec-barrier) tags every
+     * per-thread undo log places on its publication persists (see
+     * UndoLog::setOrderingTags). Default on. Turning it off models a
+     * runtime that skipped the barriers -- only the crash-state
+     * reorder explorer's known-bad oracle test should ever do so.
+     */
+    void
+    setLogOrderingTags(bool on)
+    {
+        for (auto &ts : threads)
+            ts.log.setOrderingTags(on);
+    }
+
     /** PM region of thread tid's undo log (trace classification). */
     std::pair<Addr, std::size_t>
     logRegion(unsigned tid) const

@@ -59,7 +59,8 @@ PersistentMemory::alloc(std::size_t n, std::size_t align)
 }
 
 void
-PersistentMemory::write(Addr a, const void *src, std::size_t n)
+PersistentMemory::writeTagged(Addr a, const void *src, std::size_t n,
+                              bool ordered)
 {
     checkRange(a, n);
     std::memcpy(volatileImg.data() + a, src, n);
@@ -76,9 +77,29 @@ PersistentMemory::write(Addr a, const void *src, std::size_t n)
     p.addr = a;
     p.bytes.assign(static_cast<const std::uint8_t *>(src),
                    static_cast<const std::uint8_t *>(src) + n);
+    p.specId = nextSpec++;
+    p.ordered = ordered;
     inFlight.push_back(std::move(p));
     if (observer)
         observer(MemOp::Write, a, static_cast<std::uint32_t>(n));
+}
+
+void
+PersistentMemory::write(Addr a, const void *src, std::size_t n)
+{
+    writeTagged(a, src, n, false);
+}
+
+void
+PersistentMemory::writeOrdered(Addr a, const void *src, std::size_t n)
+{
+    writeTagged(a, src, n, true);
+}
+
+void
+PersistentMemory::writeU64Ordered(Addr a, std::uint64_t v)
+{
+    writeOrdered(a, &v, sizeof(v));
 }
 
 void
@@ -155,7 +176,8 @@ PersistentMemory::persistAll()
 PersistentMemory::Snapshot
 PersistentMemory::snapshot() const
 {
-    return Snapshot{volatileImg, persistedImg, inFlight, poisoned, brk};
+    return Snapshot{volatileImg, persistedImg, inFlight,
+                    poisoned,    brk,          nextSpec};
 }
 
 void
@@ -169,6 +191,36 @@ PersistentMemory::restore(const Snapshot &s)
     inFlight = s.inFlight;
     poisoned = s.poisoned;
     brk = s.brk;
+    nextSpec = s.nextSpec;
+}
+
+void
+PersistentMemory::restoreBlocks(const Snapshot &s,
+                                const std::vector<Addr> &blocks)
+{
+    panic_if(s.volatileImg.size() != volatileImg.size(),
+             "snapshot of a %zu-byte space restored into %zu bytes",
+             s.volatileImg.size(), volatileImg.size());
+    for (Addr b : blocks) {
+        panic_if(b != blockAlign(b), "restoreBlocks wants block bases");
+        checkRange(b, blockBytes);
+        std::memcpy(volatileImg.data() + b, s.volatileImg.data() + b,
+                    blockBytes);
+        std::memcpy(persistedImg.data() + b, s.persistedImg.data() + b,
+                    blockBytes);
+    }
+    inFlight = s.inFlight;
+    poisoned = s.poisoned;
+    brk = s.brk;
+    nextSpec = s.nextSpec;
+}
+
+void
+PersistentMemory::overlayDurable(Addr a, const void *src, std::size_t n)
+{
+    checkRange(a, n);
+    std::memcpy(volatileImg.data() + a, src, n);
+    std::memcpy(persistedImg.data() + a, src, n);
 }
 
 void
@@ -184,6 +236,15 @@ PersistentMemory::crash(std::size_t keep_prefix)
     inFlight.clear();
     // Reboot: every volatile copy is gone; PM is the truth.
     volatileImg = persistedImg;
+}
+
+const PersistentMemory::Pending &
+PersistentMemory::pendingEntry(std::size_t idx) const
+{
+    panic_if(idx >= inFlight.size(),
+             "pendingEntry(%zu) of %zu in flight", idx,
+             inFlight.size());
+    return inFlight[idx];
 }
 
 std::size_t

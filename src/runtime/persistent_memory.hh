@@ -92,6 +92,15 @@ class PersistentMemory
      *  notifies the observer. */
     void write(Addr a, const void *src, std::size_t n);
 
+    /** Store carrying an ordering tag: like write(), but the queued
+     *  persist is marked `ordered` -- the functional analogue of a
+     *  persist the program publishes *after* a spec-barrier point
+     *  (an undo log's validity-marker bump, a commit truncation).
+     *  The reorder explorer treats an ordered persist as a full
+     *  fence in the speculation window: nothing crosses it. */
+    void writeOrdered(Addr a, const void *src, std::size_t n);
+    void writeU64Ordered(Addr a, std::uint64_t v);
+
     /** Load from the volatile image; notifies the observer.
      *  @throws MediaError if the range overlaps a poisoned word. */
     void read(Addr a, void *dst, std::size_t n) const;
@@ -175,7 +184,28 @@ class PersistentMemory
     {
         Addr addr;
         std::vector<std::uint8_t> bytes;
+        /** Monotonic store-order id, the functional analogue of the
+         *  speculation ID the PMC's order check keys on: persist i
+         *  precedes persist j in store order iff specId_i < specId_j. */
+        SpecId specId = 0;
+        /** Publication persist (spec-barrier analogue): may not be
+         *  reordered with *any* other persist in the window. */
+        bool ordered = false;
     };
+
+    /** In-flight persist `idx` (0 = oldest). The reorder explorer
+     *  captures the speculation window from these before a crash. */
+    const Pending &pendingEntry(std::size_t idx) const;
+
+    /**
+     * Apply bytes directly to *both* images beneath the persist
+     * queue, with no observer notification and no poison healing:
+     * the reorder explorer uses this to materialize "persist j of
+     * the crash window landed" states without perturbing the queue
+     * it is enumerating. Unlike corruptWord() this is not a fault --
+     * it writes data some store legitimately supplied.
+     */
+    void overlayDurable(Addr a, const void *src, std::size_t n);
 
     /**
      * A full copy of the PM state (both images, the in-flight queue,
@@ -191,10 +221,23 @@ class PersistentMemory
         std::deque<Pending> inFlight;
         std::set<Addr> poisoned;
         std::size_t brk;
+        SpecId nextSpec = 1;
     };
 
     Snapshot snapshot() const;
     void restore(const Snapshot &s);
+
+    /**
+     * Partial restore: rewind only the 64-byte blocks listed in
+     * `blocks` (block-aligned base addresses) to their snapshot
+     * contents, in both images, then clear the in-flight queue and
+     * restore the poison set, arena cursor and store-order counter.
+     * Exact iff every byte that differs from `s` lies in `blocks`;
+     * the crash-state explorer guarantees that by collecting the
+     * dirty-block set of the operation it is exploring. Orders of
+     * magnitude cheaper than restore() for small working sets.
+     */
+    void restoreBlocks(const Snapshot &s, const std::vector<Addr> &blocks);
 
     /** Raw image access for invariant checkers. */
     const std::uint8_t *volatileImage() const { return volatileImg.data(); }
@@ -204,6 +247,8 @@ class PersistentMemory
     void checkRange(Addr a, std::size_t n) const;
     void checkPoison(Addr a, std::size_t n) const;
     void applyPending(const Pending &p);
+    void writeTagged(Addr a, const void *src, std::size_t n,
+                     bool ordered);
 
     std::vector<std::uint8_t> volatileImg;
     std::vector<std::uint8_t> persistedImg;
@@ -211,6 +256,8 @@ class PersistentMemory
     /** Word-aligned base addresses of uncorrectable words. */
     std::set<Addr> poisoned;
     std::size_t brk = 64; ///< address 0 stays unmapped (null guard)
+    /** Store-order id the next queued persist receives. */
+    SpecId nextSpec = 1;
     Observer observer;
 };
 

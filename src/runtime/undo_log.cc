@@ -94,16 +94,27 @@ UndoLog::logRange(Addr addr, std::size_t size)
     pm.write(entry, head, sizeof(head));
     writeOffset += need;
     // Tombstone the next slot, then bump the count: the validity
-    // marker persists last (strict persistency guarantees it).
+    // marker persists last (strict persistency guarantees it; the
+    // ordering tag asserts the same constraint to the speculative
+    // window, where store order alone is NOT enough).
     pm.writeU64(base + writeOffset, 0);
     pm.writeU64(base + writeOffset + 8, 0);
-    pm.writeU64(base, entryCount() + 1);
+    writeCount(entryCount() + 1);
+}
+
+void
+UndoLog::writeCount(std::uint64_t n)
+{
+    if (orderingTags)
+        pm.writeU64Ordered(base, n);
+    else
+        pm.writeU64(base, n);
 }
 
 void
 UndoLog::commit()
 {
-    pm.writeU64(base, 0);
+    writeCount(0);
     // Tombstone the first slot *after* the truncation so a crash
     // between the two writes still finds intact entries to undo.
     pm.writeU64(base + headerBytes, 0);

@@ -112,6 +112,21 @@ class UndoLog
     /** Uncommitted entries currently in the log. */
     std::uint64_t entryCount() const;
 
+    /**
+     * Whether the log's *publication* persists -- the count bump
+     * that makes an entry valid and the commit truncation -- carry
+     * the ordering (spec-barrier) tag the crash-state reorder
+     * explorer honours. On by default: the paper's discipline places
+     * a spec-barrier before each of them, so neither may be
+     * reordered with its preceding payload/data persists inside the
+     * speculation window. Turning it off deliberately *breaks* that
+     * discipline -- it models an undo log whose author skipped the
+     * barriers -- and exists so the checker can prove it catches the
+     * resulting WAW-inversion bug (known-bad oracle test).
+     */
+    void setOrderingTags(bool on) { orderingTags = on; }
+    bool hasOrderingTags() const { return orderingTags; }
+
     /** Bytes of log space used. */
     std::size_t bytesUsed() const { return writeOffset; }
 
@@ -130,11 +145,15 @@ class UndoLog
     std::uint32_t entryCrc(Addr addr, std::uint64_t size,
                            const std::uint8_t *payload) const;
 
+    /** The count write, tagged or not per `orderingTags`. */
+    void writeCount(std::uint64_t n);
+
     PersistentMemory &pm;
     Addr base;
     std::size_t capacity;
     unsigned tid;
     std::size_t writeOffset = headerBytes;
+    bool orderingTags = true;
 };
 
 } // namespace pmemspec::runtime
