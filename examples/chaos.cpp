@@ -27,6 +27,16 @@
  * The fuzz seed is printed on every failure so any run reproduces:
  *
  *   $ ./chaos [--seed N] [--ops N] [--trace-out P]
+ *   $ ./chaos --duration N     # open-loop service soak (N sim ms)
+ *
+ * With --duration, chaos switches to *open-loop mode*: instead of
+ * the scripted stages it stands up the sharded always-on service
+ * (src/service) and lets open-loop zipfian clients hammer it for N
+ * simulated milliseconds while the default chaos script injects a
+ * power cut, media poison, a misspeculation storm and log poison
+ * into individual shards. The oracles are the service SLOs: zero
+ * consistency violations and full availability on every unaffected
+ * shard.
  *
  * With --trace-out, the injected-misspeculation stage records every
  * automaton transition and spec-ID order check into per-demo binary
@@ -36,6 +46,7 @@
  * verdicts.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +62,7 @@
 #include "observe/trace_export.hh"
 #include "runtime/fase_runtime.hh"
 #include "runtime/virtual_os.hh"
+#include "service/service.hh"
 
 using namespace pmemspec;
 
@@ -294,12 +306,78 @@ fuzzMediaFaults(std::uint64_t seed, std::size_t rounds)
     return true;
 }
 
+/**
+ * Open-loop service soak (--duration): the sharded service under the
+ * default chaos script for `sim_ms` simulated milliseconds, once per
+ * persistency design. Oracles: zero consistency violations; every
+ * shard without an injected fault stays fully available.
+ */
+bool
+soakService(std::uint64_t sim_ms, std::uint64_t seed)
+{
+    bool all_ok = true;
+    for (auto design : persistency::allDesigns()) {
+        service::ServiceConfig cfg;
+        cfg.seed = seed;
+        cfg.design = design;
+        cfg.duration = nsToTicks(1e6 * static_cast<double>(sim_ms));
+        auto frac = [&](double f) {
+            return static_cast<Tick>(
+                static_cast<double>(cfg.duration) * f);
+        };
+        using service::ServiceFault;
+        cfg.faults = {
+            {frac(0.25), 1, ServiceFault::PowerCut, 0, 0},
+            {frac(0.40), 2, ServiceFault::MediaPoison, 0, 0},
+            {frac(0.55), 0, ServiceFault::MisspecStorm, 0, 0},
+            {frac(0.70), 3, ServiceFault::LogPoison, 0, 0},
+        };
+
+        service::Service svc(cfg);
+        const service::ServiceResult res = svc.run();
+
+        bool ok = res.oracle.violations == 0;
+        for (std::size_t s = 0; s < res.shards.size(); ++s) {
+            const bool faulted = std::any_of(
+                res.faults.begin(), res.faults.end(),
+                [&](const service::FaultOutcome &f) {
+                    return f.shard == s && f.outcome != "skipped";
+                });
+            if (!faulted && res.shards[s].availability() < 0.99)
+                ok = false;
+        }
+        std::printf(
+            "[soak  ] %-9s: %llu ops, avail %.4f, p99 %llu ns, "
+            "%llu recoveries, %llu violation(s): %s\n",
+            persistency::designName(design).c_str(),
+            static_cast<unsigned long long>(res.offered),
+            res.availability(),
+            static_cast<unsigned long long>(
+                res.latencyQuantile(0.99) / ticksPerNs),
+            static_cast<unsigned long long>(
+                res.powerFailures + res.mediaErrors +
+                res.budgetTrips),
+            static_cast<unsigned long long>(res.oracle.violations),
+            ok ? "SLOs held" : "SLO FAILURE");
+        if (!ok) {
+            for (const auto &d : res.oracle.details)
+                std::printf("        ORACLE: %s\n", d.c_str());
+            for (const auto &t : res.transitions)
+                std::printf("        FLIGHT: %s\n", t.c_str());
+            printRepro("service soak");
+        }
+        all_ok = all_ok && ok;
+    }
+    return all_ok;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::size_t fuzz_rounds = 200;
+    std::uint64_t soak_ms = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&](const char *flag) -> const char * {
@@ -318,12 +396,31 @@ main(int argc, char **argv)
             fuzz_rounds = std::strtoull(v, nullptr, 0);
         } else if (const char *v = value("--trace-out")) {
             traceOut = v;
+        } else if (const char *v = value("--duration")) {
+            soak_ms = std::strtoull(v, nullptr, 0);
+            if (soak_ms == 0) {
+                std::fprintf(stderr,
+                             "%s: --duration wants simulated "
+                             "milliseconds > 0\n", argv[0]);
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--seed N] [--ops N] "
-                         "[--trace-out P]\n", argv[0]);
+                         "[--trace-out P] [--duration SIM_MS]\n",
+                         argv[0]);
             return 2;
         }
+    }
+
+    // Open-loop mode: the service soak replaces the scripted stages.
+    if (soak_ms) {
+        std::printf("== open-loop service soak (%llu sim ms) ==\n",
+                    static_cast<unsigned long long>(soak_ms));
+        const bool ok = soakService(soak_ms, activeSeed);
+        std::printf("chaos soak: %s\n",
+                    ok ? "all SLOs held" : "SLO FAILURES");
+        return ok ? 0 : 1;
     }
 
     bool all_ok = true;

@@ -246,7 +246,11 @@ ResultSink::toJson() const
     root.set("schema", Json(schemaName));
     root.set("figure", Json(figure));
     root.set("meta", meta);
-    root.set("points", points);
+    // Tools that never run machine-level experiments (crash_check,
+    // ycsb_service) only fill tables; an always-empty points array
+    // just misleads consumers into thinking the sweep ran dry.
+    if (points.size() != 0)
+        root.set("points", points);
     root.set("tables", tables);
     return root;
 }

@@ -82,6 +82,20 @@ class FaultInjector
     /** Remove the observer (also done by the destructor). */
     void detach();
 
+    /**
+     * Feed one access from an external observer chain. PersistentMemory
+     * holds a single observer; a component that needs the access
+     * stream for itself (the service shard counts per-op work) owns
+     * the observer and forwards every access here instead of calling
+     * attach(). Semantics are identical to the attached path: armed
+     * plans see the access and may fire.
+     */
+    void
+    observeAccess(runtime::MemOp op, Addr a, std::uint32_t n)
+    {
+        onAccess(op, a, n);
+    }
+
     void addPlan(std::unique_ptr<FaultPlan> plan);
     void clearPlans();
 

@@ -172,6 +172,46 @@ class AddrTouchPlan : public FaultPlan
 };
 
 /**
+ * Re-arming plan: fire `kind` on the observed access every `period`
+ * accesses (counted from arming), up to `count` total fires, each on
+ * the address of the triggering access. The chaos/service harness
+ * uses it for misspeculation *storms* -- a burst of LoadStale events
+ * dense enough to drive a FASE into its abort budget -- but any
+ * per-access fault kind works.
+ */
+class PeriodicPlan : public FaultPlan
+{
+  public:
+    PeriodicPlan(FaultKind kind, std::uint64_t period,
+                 std::uint64_t count, Tick delay = 0)
+        : kind(kind), period(period ? period : 1), remaining(count),
+          delay(delay)
+    {
+    }
+
+    std::optional<FaultAction>
+    onAccess(const AccessInfo &info) override
+    {
+        if (remaining == 0)
+            return std::nullopt;
+        if (++seen % period != 0)
+            return std::nullopt;
+        --remaining;
+        return FaultAction{kind, info.addr, 0, delay, 0};
+    }
+
+    /** Fires left before the storm is spent. */
+    std::uint64_t firesRemaining() const { return remaining; }
+
+  private:
+    FaultKind kind;
+    std::uint64_t period;
+    std::uint64_t remaining;
+    Tick delay;
+    std::uint64_t seen = 0;
+};
+
+/**
  * Cut power so that exactly `prefix` in-flight persists are durable.
  *
  * Counts persist-queue entries (writes) from the moment it is armed;

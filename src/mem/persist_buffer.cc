@@ -31,6 +31,8 @@ PersistBuffer::PersistBuffer(sim::EventQueue &eq, StatGroup *parent,
     stats().addCounter("ofences", &ofences, "epochs closed");
     stats().addCounter("depStalls", &depStalls,
                        "drain attempts blocked on a cross-thread dep");
+    stats().addCounter("pathRetries", &pathRetries,
+                       "delivery retries due to PMC backpressure");
     stats().addAccumulator("occupancy", &occupancyStat,
                            "buffer occupancy sampled at each append");
 }
@@ -156,10 +158,13 @@ void
 PersistBuffer::attemptDeliver(Entry e)
 {
     if (deliver(coreId, e.addr)) {
+        pmcBackoff.reset();
         finishOne(e);
     } else {
-        // PMC write queue full: retry after a backoff.
-        scheduleIn(4 * ticksPerNs, [this, e] { attemptDeliver(e); });
+        // PMC write queue full: retry on the shared bounded-backoff
+        // schedule.
+        ++pathRetries;
+        scheduleIn(pmcBackoff.next(), [this, e] { attemptDeliver(e); });
     }
 }
 

@@ -36,8 +36,10 @@
 #include <limits>
 #include <vector>
 
+#include "common/backoff.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/pmc_retry.hh"
 #include "sim/sim_object.hh"
 
 namespace pmemspec::mem
@@ -137,6 +139,9 @@ class PersistBuffer : public sim::SimObject
     Counter persistsDone;
     Counter ofences;
     Counter depStalls;
+    /** Delivery retries due to PMC backpressure (stat "pathRetries",
+     *  shared naming with PersistPath). */
+    Counter pathRetries;
     Accumulator occupancyStat;
 
   private:
@@ -157,6 +162,8 @@ class PersistBuffer : public sim::SimObject
     unsigned drainWidth;
     bool strictFifo;
     GlobalDrainToken *globalToken;
+    /** PMC-backpressure retry schedule (shared policy, pmc_retry.hh). */
+    BoundedBackoff pmcBackoff = pmcRetryBackoff();
     DeliverFn deliver;
     FilterHook filterInsert;
     FilterHook filterRemove;

@@ -22,7 +22,7 @@ PersistPath::PersistPath(sim::EventQueue &eq, StatGroup *parent,
     stats().addCounter("sends", &sends, "persists pushed onto the path");
     stats().addCounter("deliveries", &deliveries,
                        "persists accepted by the PMC");
-    stats().addCounter("retries", &retries,
+    stats().addCounter("pathRetries", &pathRetries,
                        "delivery retries due to PMC backpressure");
     stats().addAccumulator("occupancy", &occupancyStat,
                            "FIFO occupancy sampled at each send");
@@ -72,6 +72,7 @@ PersistPath::pump()
 
     if (deliver(coreId, head.addr, head.specId)) {
         ++deliveries;
+        pmcBackoff.reset();
         PMEMSPEC_TRACE(traceMgr, FlagPersistPath,
                        trace::EventKind::PathDeliver, curTick(), coreId,
                        head.addr,
@@ -88,14 +89,14 @@ PersistPath::pump()
             scheduleIn(delay, [this] { pump(); });
         }
     } else {
-        // PMC write queue full: retry after a backoff, preserving
-        // order.
-        ++retries;
+        // PMC write queue full: retry on the shared bounded-backoff
+        // schedule, preserving order.
+        ++pathRetries;
         PMEMSPEC_TRACE(traceMgr, FlagPersistPath,
                        trace::EventKind::PathRetry, curTick(), coreId,
                        head.addr, {.unit = traceUnit});
         pumpScheduled = true;
-        scheduleIn(4 * ticksPerNs, [this] { pump(); });
+        scheduleIn(pmcBackoff.next(), [this] { pump(); });
     }
 }
 

@@ -20,7 +20,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/backoff.hh"
 #include "common/stats.hh"
+#include "mem/pmc_retry.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
@@ -102,7 +104,9 @@ class PersistPath : public sim::SimObject
 
     Counter sends;
     Counter deliveries;
-    Counter retries;
+    /** Delivery retries due to PMC backpressure (stat "pathRetries",
+     *  shared naming with PersistBuffer). */
+    Counter pathRetries;
     Accumulator occupancyStat;
     /** FIFO occupancy distribution, sampled at each send (fig12). */
     Histogram occupancyHist;
@@ -123,6 +127,8 @@ class PersistPath : public sim::SimObject
     CoreId coreId;
     Tick pathLatency;
     unsigned fifoCapacity;
+    /** PMC-backpressure retry schedule (shared policy, backoff.hh). */
+    BoundedBackoff pmcBackoff = pmcRetryBackoff();
     DeliverFn deliver;
     DelayHook delayHook;
     std::deque<Flit> fifo;

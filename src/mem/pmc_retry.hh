@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The one PMC-backpressure retry policy.
+ *
+ * Both agents that hand persists to the PM controller -- the
+ * PMEM-Spec persist path and the HOPS/DPO persist buffers -- can see
+ * the PMC write queue full and must retry without giving up FIFO
+ * order. The schedule used to be two copy-pasted fixed-delay loops;
+ * it is now one deterministic bounded-exponential policy (first
+ * retry after 4ns, doubling to a 32ns clamp, reset on the first
+ * accepted delivery) so a congested PMC is probed quickly but a
+ * persistently full queue is not hammered every 4ns. Each user
+ * surfaces the retry count as the "pathRetries" stat in its
+ * StatGroup.
+ */
+
+#ifndef PMEMSPEC_MEM_PMC_RETRY_HH
+#define PMEMSPEC_MEM_PMC_RETRY_HH
+
+#include "common/backoff.hh"
+
+namespace pmemspec::mem
+{
+
+/** The shared PMC-backpressure retry schedule (fresh instance). */
+constexpr BoundedBackoff
+pmcRetryBackoff()
+{
+    return BoundedBackoff{4 * ticksPerNs, 32 * ticksPerNs};
+}
+
+} // namespace pmemspec::mem
+
+#endif // PMEMSPEC_MEM_PMC_RETRY_HH

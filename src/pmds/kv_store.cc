@@ -128,6 +128,16 @@ KvStore::lookup(std::uint64_t key) const
     return b;
 }
 
+std::optional<std::pair<Addr, std::size_t>>
+KvStore::slabRegion(std::uint64_t key) const
+{
+    auto meta = index.lookup(key);
+    if (!meta)
+        return std::nullopt;
+    const Addr slab = pm.readU64(*meta + offSlab);
+    return std::pair<Addr, std::size_t>{slab, cfg.valueBytes};
+}
+
 std::optional<std::uint64_t>
 KvStore::hitCount(std::uint64_t key) const
 {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "pmds/pm_hashmap.hh"
@@ -57,6 +58,11 @@ class KvStore
 
     /** Non-transactional checker read. */
     std::optional<std::uint8_t> lookup(std::uint64_t key) const;
+
+    /** PM region of a stored item's value slab (checker / chaos
+     *  targeting hook); nullopt when the key is absent. */
+    std::optional<std::pair<Addr, std::size_t>>
+    slabRegion(std::uint64_t key) const;
 
     /** LRU hit count of a key (checker). */
     std::optional<std::uint64_t> hitCount(std::uint64_t key) const;

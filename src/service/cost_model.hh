@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-design service-time model over functional operation work.
+ *
+ * The service harness executes every operation *functionally* (real
+ * KvStore + FaseRuntime + FaultInjector, so correctness, recovery
+ * and fault behavior are genuine) and then charges simulated time
+ * from the observed work -- PM reads, PM stores (each store queues
+ * one persist) and FASE aborts -- using the Table 3 latencies of
+ * MemConfig. The charge differs per persistency design exactly where
+ * the designs differ: how a committed store becomes durable.
+ *
+ *  - IntelX86: every persist is a synchronous CLWB+SFENCE round trip
+ *    to the device (Mnemosyne-style word logging makes memcached
+ *    persistence-bound here, Section 2.1);
+ *  - DPO: buffered strict persistency, but one machine-wide flush in
+ *    flight at a time serialises the drain behind execution;
+ *  - HOPS: buffered epochs drain `drainWidth` persists in parallel
+ *    and only the dfence at FASE end waits for the tail;
+ *  - PMEM-Spec: persists stream down the decoupled path; commit
+ *    waits only for path residency, and each misspeculation abort
+ *    pays the speculation window plus re-execution.
+ *
+ * Absolute numbers depend on the substrate as everywhere in this
+ * repo; the reproduction target is the *shape* (who serves faster,
+ * who recovers how) -- see EXPERIMENTS.md.
+ */
+
+#ifndef PMEMSPEC_SERVICE_COST_MODEL_HH
+#define PMEMSPEC_SERVICE_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/mem_config.hh"
+#include "persistency/design.hh"
+#include "runtime/fase_runtime.hh"
+
+namespace pmemspec::service
+{
+
+/** Observed functional work of one operation (or one recovery). */
+struct OpWork
+{
+    std::uint64_t reads = 0;      ///< PM load accesses
+    std::uint64_t readBytes = 0;
+    std::uint64_t writes = 0;     ///< PM stores == queued persists
+    std::uint64_t writeBytes = 0;
+    std::uint64_t aborts = 0;     ///< FASE aborts consumed
+
+    void
+    clear()
+    {
+        *this = OpWork{};
+    }
+};
+
+/** Work -> simulated ticks, per design. */
+class CostModel
+{
+  public:
+    explicit CostModel(const mem::MemConfig &mc = mem::MemConfig{})
+        : mc(mc)
+    {
+    }
+
+    /** Service time of one completed (or attempted) operation. */
+    Tick opCost(persistency::Design d, const OpWork &w) const;
+
+    /** Crash recovery (power cut): failure detection, restart and
+     *  verified log replay. Design-independent -- recovery walks the
+     *  durable log the same way everywhere. */
+    Tick recoveryCost(const runtime::RecoveryReport &rep) const;
+
+    /** In-process rollback + log resync (media error, abort-budget
+     *  exhaustion): no reboot, just the replay and bookkeeping. */
+    Tick rollbackCost(const runtime::RecoveryReport &rep) const;
+
+    const mem::MemConfig &config() const { return mc; }
+
+  private:
+    /** Execution (cache-resident) component common to all designs. */
+    Tick execCost(const OpWork &w) const;
+
+    mem::MemConfig mc;
+};
+
+} // namespace pmemspec::service
+
+#endif // PMEMSPEC_SERVICE_COST_MODEL_HH

@@ -1,0 +1,611 @@
+#include "service.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pmemspec::service
+{
+
+namespace
+{
+
+/** Fixed client-visible cost of a fast-path rejection (shed window,
+ *  degraded write): the request never reaches the data path. */
+constexpr Tick rejectLatency = nsToTicks(100);
+
+/** Degraded-mode read: one non-transactional probe of the image. */
+constexpr Tick degradedReadLatency = nsToTicks(300);
+
+} // namespace
+
+double
+ServiceResult::availability() const
+{
+    return offered ? static_cast<double>(succeeded) /
+                         static_cast<double>(offered)
+                   : 1.0;
+}
+
+double
+ServiceResult::throughputOpsPerSec(Tick duration) const
+{
+    const double seconds =
+        static_cast<double>(duration) / (1e9 * ticksPerNs);
+    return seconds > 0 ? static_cast<double>(succeeded) / seconds : 0;
+}
+
+Tick
+ServiceResult::latencyQuantile(double q) const
+{
+    if (latencies.empty())
+        return 0;
+    // Nearest-rank on the sorted set: exact and deterministic.
+    const std::size_t n = latencies.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return latencies[rank - 1];
+}
+
+Json
+ServiceResult::toJson(Tick duration) const
+{
+    Json j = Json::object();
+    j.set("design", Json(persistency::designName(design)));
+    j.set("offered", Json(offered));
+    j.set("succeeded", Json(succeeded));
+    j.set("deadline_failures", Json(deadlineFailures));
+    j.set("retries", Json(retries));
+    j.set("availability", Json(availability()));
+    j.set("throughput_ops_s", Json(throughputOpsPerSec(duration)));
+    Json lat = Json::object();
+    lat.set("p50_ns", Json(latencyQuantile(0.50) / ticksPerNs));
+    lat.set("p95_ns", Json(latencyQuantile(0.95) / ticksPerNs));
+    lat.set("p99_ns", Json(latencyQuantile(0.99) / ticksPerNs));
+    lat.set("p999_ns", Json(latencyQuantile(0.999) / ticksPerNs));
+    j.set("latency", std::move(lat));
+    Json ev = Json::object();
+    ev.set("power_failures", Json(powerFailures));
+    ev.set("media_errors", Json(mediaErrors));
+    ev.set("budget_trips", Json(budgetTrips));
+    ev.set("shed_rejects", Json(shedRejects));
+    ev.set("degraded_rejects", Json(degradedRejects));
+    ev.set("quarantined", Json(quarantined));
+    j.set("events", std::move(ev));
+    Json sh = Json::array();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const ShardMetrics &m = shards[s];
+        Json row = Json::object();
+        row.set("shard", Json(static_cast<std::uint64_t>(s)));
+        row.set("offered", Json(m.offered));
+        row.set("succeeded", Json(m.succeeded));
+        row.set("availability", Json(m.availability()));
+        row.set("retries", Json(m.retries));
+        row.set("shed_rejects", Json(m.shedRejects));
+        row.set("degraded_rejects", Json(m.degradedRejects));
+        row.set("recoveries", Json(m.recoveries));
+        row.set("final_state", Json(shardStateName(m.finalState)));
+        sh.push(std::move(row));
+    }
+    j.set("shards", std::move(sh));
+    Json fs = Json::array();
+    for (const FaultOutcome &f : faults) {
+        Json row = Json::object();
+        row.set("kind", Json(serviceFaultName(f.kind)));
+        row.set("shard", Json(f.shard));
+        row.set("injected_at_ns", Json(f.injectedAt / ticksPerNs));
+        row.set("triggered_at_ns", Json(f.triggeredAt / ticksPerNs));
+        row.set("recovered_at_ns", Json(f.recoveredAt / ticksPerNs));
+        row.set("ttr_ns", Json(f.ttr / ticksPerNs));
+        row.set("outcome", Json(f.outcome));
+        row.set("entries_replayed", Json(f.entriesReplayed));
+        fs.push(std::move(row));
+    }
+    j.set("faults", std::move(fs));
+    Json orc = Json::object();
+    orc.set("checks", Json(oracle.checks));
+    orc.set("violations", Json(oracle.violations));
+    orc.set("lost_keys", Json(oracle.lostKeys));
+    orc.set("poison_skipped", Json(oracle.poisonSkipped));
+    orc.set("degraded_skipped", Json(oracle.degradedSkipped));
+    Json det = Json::array();
+    for (const auto &d : oracle.details)
+        det.push(Json(d));
+    orc.set("details", std::move(det));
+    j.set("oracle", std::move(orc));
+    Json tr = Json::array();
+    for (const auto &t : transitions)
+        tr.push(Json(t));
+    j.set("transitions", std::move(tr));
+    return j;
+}
+
+Service::Service(const ServiceConfig &config) : cfg(config)
+{
+    fatal_if(cfg.shards == 0 || cfg.clients == 0,
+             "service needs at least one shard and one client");
+    const double mixSum =
+        cfg.mix.read + cfg.mix.update + cfg.mix.insert + cfg.mix.scan;
+    fatal_if(std::abs(mixSum - 1.0) > 1e-9,
+             "op mix ratios must sum to 1 (got %f)", mixSum);
+    fatal_if(cfg.keySpace < cfg.shards,
+             "key space smaller than the shard count");
+
+    zipf = std::make_unique<ZipfianGenerator>(cfg.keySpace,
+                                              cfg.zipfTheta);
+    for (unsigned s = 0; s < cfg.shards; ++s)
+        shards.push_back(std::make_unique<Shard>(s, cfg));
+    for (unsigned c = 0; c < cfg.clients; ++c)
+        clientRng.emplace_back(cfg.seed * 0x9e3779b97f4a7c15ULL +
+                               c + 1);
+    freeAt.assign(cfg.shards, 0);
+    shedUntil.assign(cfg.shards, 0);
+    insertSeq.assign(cfg.shards, 0);
+    // Fresh-insert keys start past the preloaded space, rounded up
+    // so key % shards keeps routing them to the intended shard.
+    keyBase = ((cfg.keySpace + cfg.shards - 1) / cfg.shards) *
+              cfg.shards;
+    res.shards.assign(cfg.shards, ShardMetrics{});
+    res.design = cfg.design;
+}
+
+Service::~Service() = default;
+
+unsigned
+Service::shardOf(std::uint64_t key) const
+{
+    return static_cast<unsigned>(key % cfg.shards);
+}
+
+std::uint8_t
+Service::fillFor(std::uint64_t key, std::uint64_t salt)
+{
+    // Any deterministic non-zero byte works; mixing the key keeps
+    // neighbouring keys distinguishable in post-mortems.
+    const std::uint8_t b = static_cast<std::uint8_t>(
+        ZipfianGenerator::scramble(key * 31 + salt));
+    return b ? b : 0x5A;
+}
+
+void
+Service::noteTransition(Tick at, unsigned shard,
+                        const std::string &msg)
+{
+    // Bounded ring: the flight recorder keeps the most recent
+    // transitions (oldest dropped first).
+    if (res.transitions.size() >= cfg.flightEntries)
+        res.transitions.erase(res.transitions.begin());
+    res.transitions.push_back(
+        "t=" + std::to_string(at / ticksPerNs) + "ns shard" +
+        std::to_string(shard) + " " + msg);
+}
+
+FaultOutcome *
+Service::pendingFault(unsigned shard, ServiceFault kind)
+{
+    for (auto &f : res.faults) {
+        if (f.shard == shard && f.kind == kind &&
+            f.outcome == "pending")
+            return &f;
+    }
+    return nullptr;
+}
+
+void
+Service::checkRead(const PendingOp &op, const Shard::OpResult &r)
+{
+    ++res.oracle.checks;
+    const auto it = shadow.find(op.key);
+    const bool expectPresent = it != shadow.end();
+    const bool gotPresent = r.status == Shard::OpStatus::Ok;
+    std::string detail;
+    if (expectPresent && !gotPresent) {
+        detail = "read miss on committed key " +
+                 std::to_string(op.key);
+    } else if (!expectPresent && gotPresent) {
+        detail = "ghost value on never-committed key " +
+                 std::to_string(op.key);
+    } else if (expectPresent && gotPresent &&
+               r.value != std::optional<std::uint8_t>{it->second}) {
+        detail = "stale/wrong value on key " + std::to_string(op.key);
+    }
+    if (!detail.empty()) {
+        ++res.oracle.violations;
+        if (res.oracle.details.size() < 16)
+            res.oracle.details.push_back(detail);
+    }
+}
+
+void
+Service::resolveCrashAmbiguity(const PendingOp &op, unsigned s)
+{
+    // The cut interrupted a write FASE: the runtime guarantees
+    // all-or-nothing, so probe which side of the boundary the
+    // durable image landed on and commit the shadow accordingly.
+    if (op.kind != OpKind::Update && op.kind != OpKind::Insert)
+        return; // reads/scans leave the mapping unchanged either way
+    if (shards[s]->state() != ShardState::Serving)
+        return; // degraded: the oracle stops vouching for this shard
+    std::optional<std::uint8_t> now;
+    try {
+        now = shards[s]->kv().lookup(op.key);
+    } catch (const runtime::MediaError &) {
+        ++res.oracle.poisonSkipped;
+        return;
+    }
+    const auto it = shadow.find(op.key);
+    ++res.oracle.checks;
+    if (now == std::optional<std::uint8_t>{op.fill}) {
+        shadow[op.key] = op.fill; // committed just before the cut
+    } else if ((it == shadow.end() && !now) ||
+               (it != shadow.end() &&
+                now == std::optional<std::uint8_t>{it->second})) {
+        // rolled back cleanly: old mapping intact
+    } else {
+        ++res.oracle.violations;
+        if (res.oracle.details.size() < 16)
+            res.oracle.details.push_back(
+                "crash left key " + std::to_string(op.key) +
+                " at neither boundary");
+    }
+}
+
+void
+Service::verifyShard(unsigned s)
+{
+    const Shard &sh = *shards[s];
+    if (sh.state() == ShardState::Degraded) {
+        ++res.oracle.degradedSkipped;
+        return;
+    }
+    std::uint64_t mine = 0;
+    for (const auto &[key, fill] : shadow) {
+        if (shardOf(key) != s)
+            continue;
+        ++mine;
+        ++res.oracle.checks;
+        std::optional<std::uint8_t> v;
+        try {
+            v = sh.kv().lookup(key);
+        } catch (const runtime::MediaError &) {
+            ++res.oracle.poisonSkipped;
+            continue;
+        }
+        auto region = sh.kv().slabRegion(key);
+        if (region && !sh.pm()
+                           .poisonedWordsIn(region->first,
+                                            region->second)
+                           .empty()) {
+            ++res.oracle.poisonSkipped;
+            continue;
+        }
+        if (v != std::optional<std::uint8_t>{fill}) {
+            ++res.oracle.violations;
+            if (res.oracle.details.size() < 16)
+                res.oracle.details.push_back(
+                    "post-recovery mismatch on key " +
+                    std::to_string(key));
+        }
+    }
+    ++res.oracle.checks;
+    if (sh.kv().size() != mine) {
+        ++res.oracle.violations;
+        if (res.oracle.details.size() < 16)
+            res.oracle.details.push_back(
+                "shard " + std::to_string(s) + " holds " +
+                std::to_string(sh.kv().size()) + " items, shadow " +
+                std::to_string(mine));
+    }
+    ++res.oracle.checks;
+    if (!sh.kv().checkInvariants()) {
+        ++res.oracle.violations;
+        if (res.oracle.details.size() < 16)
+            res.oracle.details.push_back(
+                "shard " + std::to_string(s) +
+                " failed checkInvariants");
+    }
+}
+
+void
+Service::scheduleClient(unsigned client, Tick at)
+{
+    if (at >= cfg.duration)
+        return; // arrivals stop; in-flight work drains
+    eq.schedule(at, [this, client, at] {
+        // Open loop: the next arrival is scheduled regardless of how
+        // this op fares.
+        scheduleClient(client, at + cfg.interArrival);
+        Rng &rng = clientRng[client];
+        PendingOp op;
+        op.id = ++opSeq;
+        op.client = client;
+        op.firstSubmit = at;
+        op.backoff = BoundedBackoff{cfg.retry.backoffBase,
+                                    cfg.retry.backoffCap};
+        const double roll = rng.uniform();
+        if (roll < cfg.mix.read) {
+            op.kind = OpKind::Read;
+            op.key = zipf->next(rng);
+        } else if (roll < cfg.mix.read + cfg.mix.update) {
+            op.kind = OpKind::Update;
+            op.key = zipf->next(rng);
+            op.fill = fillFor(op.key, rng.next());
+        } else if (roll <
+                   cfg.mix.read + cfg.mix.update + cfg.mix.insert) {
+            op.kind = OpKind::Insert;
+            // A fresh key on the same shard a zipfian draw routes to,
+            // so insert load follows the popularity distribution.
+            const unsigned s = shardOf(zipf->next(rng));
+            op.key = keyBase + s + cfg.shards * insertSeq[s]++;
+            op.fill = fillFor(op.key, rng.next());
+        } else {
+            op.kind = OpKind::Scan;
+            op.key = zipf->next(rng);
+        }
+        ++res.offered;
+        ++res.shards[shardOf(op.key)].offered;
+        submit(std::move(op), at);
+    });
+}
+
+void
+Service::complete(PendingOp &op, Tick at, bool ok)
+{
+    if (at > res.lastCompletion)
+        res.lastCompletion = at;
+    const unsigned s = shardOf(op.key);
+    if (ok && at - op.firstSubmit <= cfg.retry.opDeadline) {
+        ++res.succeeded;
+        ++res.shards[s].succeeded;
+        res.latencies.push_back(at - op.firstSubmit);
+    } else {
+        ++res.deadlineFailures;
+    }
+}
+
+void
+Service::retryOrFail(PendingOp op, Tick failedAt)
+{
+    const Tick delay = op.backoff.next();
+    const Tick next = failedAt + delay;
+    if (next > op.firstSubmit + cfg.retry.opDeadline) {
+        ++res.deadlineFailures;
+        if (failedAt > res.lastCompletion)
+            res.lastCompletion = failedAt;
+        return;
+    }
+    ++res.retries;
+    ++res.shards[shardOf(op.key)].retries;
+    ++op.attempts;
+    eq.schedule(next, [this, op = std::move(op), next]() mutable {
+        submit(std::move(op), next);
+    });
+}
+
+void
+Service::submit(PendingOp op, Tick at)
+{
+    const unsigned s = shardOf(op.key);
+    Shard &sh = *shards[s];
+
+    // Load-shed window: reject on the doorstep, the whole point is
+    // that the data path never sees the request.
+    if (at < shedUntil[s]) {
+        ++res.shedRejects;
+        ++res.shards[s].shedRejects;
+        retryOrFail(std::move(op), at + rejectLatency);
+        return;
+    }
+
+    const ShardState before = sh.state();
+    const Tick start = std::max(at, freeAt[s]);
+    Shard::OpResult r =
+        sh.apply(op.kind, op.key, op.fill, cfg.scanLen, cfg.shards);
+
+    if (before == ShardState::Degraded) {
+        // Served off the degraded read-only path (or refused).
+        if (r.status == Shard::OpStatus::Ok ||
+            r.status == Shard::OpStatus::Miss) {
+            const Tick done = start + degradedReadLatency;
+            freeAt[s] = done;
+            complete(op, done, true);
+        } else {
+            ++res.degradedRejects;
+            ++res.shards[s].degradedRejects;
+            retryOrFail(std::move(op), at + rejectLatency);
+        }
+        return;
+    }
+
+    Tick busy = cost.opCost(cfg.design, r.work);
+    Tick done = start + busy;
+
+    if (r.recovered) {
+        const Tick ttr = r.crashed ? cost.recoveryCost(r.report)
+                                   : cost.rollbackCost(r.report);
+        freeAt[s] = done + ttr;
+        if (sh.state() == ShardState::Degraded) {
+            noteTransition(done, s, "Serving->Degraded (" +
+                                        std::string(
+                                            r.crashed ? "PowerCut"
+                                                      : "corruption") +
+                                        ")");
+        } else {
+            noteTransition(done, s, "Serving->Recovering");
+            noteTransition(freeAt[s], s, "Recovering->Serving");
+        }
+        // Attribute to the scheduled fault that manifested.
+        ServiceFault kind = ServiceFault::PowerCut;
+        std::string outcome = "recovered";
+        if (r.crashed) {
+            kind = ServiceFault::PowerCut;
+        } else if (r.status == Shard::OpStatus::AbortBudget) {
+            kind = ServiceFault::MisspecStorm;
+            outcome = "shed+recovered";
+        } else if (sh.state() == ShardState::Degraded) {
+            kind = ServiceFault::LogPoison;
+            outcome = "degraded";
+        } else if (r.quarantinedKey) {
+            kind = ServiceFault::MediaPoison;
+            outcome = "quarantined";
+        } else {
+            kind = ServiceFault::MediaPoison;
+            outcome = "recovered";
+        }
+        if (FaultOutcome *f = pendingFault(s, kind)) {
+            f->triggeredAt = done;
+            f->recoveredAt = freeAt[s];
+            f->ttr = f->recoveredAt - f->triggeredAt;
+            f->outcome = outcome;
+            f->entriesReplayed = r.report.entriesReplayed;
+        }
+        ++res.shards[s].recoveries;
+        // The quarantine must reach the shadow before verifyShard
+        // compares it against the store.
+        if (r.quarantinedKey) {
+            ++res.quarantined;
+            ++res.oracle.lostKeys;
+            shadow.erase(*r.quarantinedKey);
+        }
+        if (sh.state() != ShardState::Degraded)
+            verifyShard(s);
+        else
+            ++res.oracle.degradedSkipped;
+    } else {
+        freeAt[s] = done;
+    }
+
+    switch (r.status) {
+      case Shard::OpStatus::Ok:
+      case Shard::OpStatus::Miss:
+        if (op.kind == OpKind::Read || op.kind == OpKind::Scan)
+            checkRead(op, r);
+        else
+            shadow[op.key] = op.fill;
+        complete(op, done, true);
+        return;
+      case Shard::OpStatus::PowerFailure:
+        ++res.powerFailures;
+        resolveCrashAmbiguity(op, s);
+        retryOrFail(std::move(op), done);
+        return;
+      case Shard::OpStatus::AbortBudget:
+        ++res.budgetTrips;
+        // Abort-budget-driven load shedding: give the storm room to
+        // pass before the shard takes traffic again.
+        shedUntil[s] = freeAt[s] + cfg.shedWindow;
+        noteTransition(freeAt[s], s, "shed-window opened");
+        retryOrFail(std::move(op), done);
+        return;
+      case Shard::OpStatus::MediaError:
+        ++res.mediaErrors;
+        retryOrFail(std::move(op), done);
+        return;
+      case Shard::OpStatus::RejectedDegraded:
+        // (handled above for pre-degraded shards; a shard that
+        // degraded during *this* op lands here)
+        ++res.degradedRejects;
+        ++res.shards[s].degradedRejects;
+        retryOrFail(std::move(op), done);
+        return;
+    }
+}
+
+void
+Service::onFaultEvent(const FaultEvent &ev)
+{
+    fatal_if(ev.shard >= cfg.shards, "fault targets shard %u of %u",
+             ev.shard, cfg.shards);
+    Shard &sh = *shards[ev.shard];
+    FaultOutcome out;
+    out.kind = ev.kind;
+    out.shard = ev.shard;
+    out.injectedAt = eq.now();
+    switch (ev.kind) {
+      case ServiceFault::PowerCut:
+        sh.armPowerCut(ev.a ? static_cast<std::size_t>(ev.a) : 3);
+        noteTransition(eq.now(), ev.shard, "power cut armed");
+        break;
+      case ServiceFault::MediaPoison: {
+        // Victim: the hottest committed key of this shard (walking
+        // the zipfian popularity ranks), so the poison manifests
+        // under real traffic instead of hiding in the cold tail.
+        std::uint64_t victim = ev.a;
+        bool found = ev.a != 0;
+        if (!found) {
+            for (std::uint64_t r = 0; r < cfg.keySpace; ++r) {
+                const std::uint64_t k =
+                    ZipfianGenerator::scramble(r) % cfg.keySpace;
+                if (shardOf(k) == ev.shard && shadow.count(k)) {
+                    victim = k;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (!found || !sh.poisonValue(victim)) {
+            out.outcome = "skipped";
+        } else {
+            noteTransition(eq.now(), ev.shard,
+                           "value poisoned (key " +
+                               std::to_string(victim) + ")");
+        }
+        break;
+      }
+      case ServiceFault::LogPoison:
+        sh.poisonLog();
+        noteTransition(eq.now(), ev.shard, "undo log poisoned");
+        break;
+      case ServiceFault::MisspecStorm:
+        if (cfg.design != persistency::Design::PmemSpec) {
+            // No speculation, nothing to mis-speculate: the fault
+            // cannot exist on this design.
+            out.outcome = "skipped";
+        } else {
+            sh.armStorm(ev.a ? ev.a : 4, ev.b ? ev.b : 2000);
+            noteTransition(eq.now(), ev.shard, "misspec storm armed");
+        }
+        break;
+    }
+    res.faults.push_back(std::move(out));
+}
+
+ServiceResult
+Service::run()
+{
+    fatal_if(ran, "Service::run is one-shot; build a new Service");
+    ran = true;
+
+    // Preload the key space (fault-free, not counted as traffic).
+    for (std::uint64_t k = 0; k < cfg.keySpace; ++k) {
+        const std::uint8_t fill = fillFor(k, 0);
+        shards[shardOf(k)]->preload(k, fill);
+        shadow[k] = fill;
+    }
+
+    for (unsigned c = 0; c < cfg.clients; ++c) {
+        // Staggered phases so clients do not arrive in lockstep.
+        scheduleClient(c,
+                       (cfg.interArrival * c) / cfg.clients);
+    }
+    for (const FaultEvent &ev : cfg.faults) {
+        eq.schedule(ev.at, [this, ev] { onFaultEvent(ev); });
+    }
+
+    eq.run();
+
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        res.shards[s].finalState = shards[s]->state();
+        res.shards[s].recoveries = shards[s]->recoveries();
+        verifyShard(s);
+    }
+    std::sort(res.latencies.begin(), res.latencies.end());
+    return res;
+}
+
+} // namespace pmemspec::service

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The always-on service harness: open-loop clients over sharded
+ * failure domains, with an online fault scheduler and a consistency
+ * oracle.
+ *
+ * One Service::run() is a single-host-threaded discrete-event
+ * simulation (sim::EventQueue over simulated ticks): client arrivals
+ * are open-loop (a new op every interArrival ticks per client,
+ * regardless of completions), keys are scrambled-zipfian, shards
+ * serve their queues FIFO, and the scheduled FaultEvents fire into
+ * individual shards mid-flight. Client-side failures retry on the
+ * shared BoundedBackoff schedule under a per-op deadline; a shard
+ * that trips its abort budget opens a load-shed window; a shard
+ * whose recovery cannot vouch for the image degrades to read-only
+ * while the rest of the service keeps serving.
+ *
+ * Everything is deterministic in (config, design): the same run
+ * serializes to the same JSON bytes at any sweep parallelism.
+ */
+
+#ifndef PMEMSPEC_SERVICE_SERVICE_HH
+#define PMEMSPEC_SERVICE_SERVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/backoff.hh"
+#include "common/json.hh"
+#include "common/rng.hh"
+#include "service/cost_model.hh"
+#include "service/service_config.hh"
+#include "service/shard.hh"
+#include "service/zipfian.hh"
+#include "sim/event_queue.hh"
+
+namespace pmemspec::service
+{
+
+/** One injected fault's client-visible timeline. */
+struct FaultOutcome
+{
+    ServiceFault kind = ServiceFault::PowerCut;
+    unsigned shard = 0;
+    Tick injectedAt = 0;  ///< scheduler fired (fault armed/planted)
+    Tick triggeredAt = 0; ///< fault manifested in an operation
+    Tick recoveredAt = 0; ///< shard back to Serving (or safe-Degraded)
+    /** recoveredAt - triggeredAt; 0 while pending. */
+    Tick ttr = 0;
+    /** "recovered", "degraded", "quarantined", "shed+recovered",
+     *  "skipped" (storm on a non-speculative design) or "pending". */
+    std::string outcome = "pending";
+    std::uint64_t entriesReplayed = 0;
+};
+
+/** Per-shard client-visible totals. */
+struct ShardMetrics
+{
+    std::uint64_t offered = 0;   ///< unique ops routed here
+    std::uint64_t succeeded = 0; ///< completed in deadline
+    std::uint64_t retries = 0;
+    std::uint64_t shedRejects = 0;
+    std::uint64_t degradedRejects = 0;
+    ShardState finalState = ShardState::Serving;
+    std::uint64_t recoveries = 0;
+
+    double
+    availability() const
+    {
+        return offered ? static_cast<double>(succeeded) /
+                             static_cast<double>(offered)
+                       : 1.0;
+    }
+};
+
+/** Consistency-oracle verdict. */
+struct OracleMetrics
+{
+    std::uint64_t checks = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t lostKeys = 0;       ///< quarantined (media UE)
+    std::uint64_t poisonSkipped = 0;  ///< unverifiable: poisoned
+    std::uint64_t degradedSkipped = 0;
+    std::vector<std::string> details; ///< first violations, verbatim
+};
+
+/** Everything one run produces. */
+struct ServiceResult
+{
+    persistency::Design design = persistency::Design::PmemSpec;
+
+    std::uint64_t offered = 0;
+    std::uint64_t succeeded = 0;
+    std::uint64_t deadlineFailures = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t powerFailures = 0;
+    std::uint64_t mediaErrors = 0;
+    std::uint64_t budgetTrips = 0;
+    std::uint64_t shedRejects = 0;
+    std::uint64_t degradedRejects = 0;
+    std::uint64_t quarantined = 0;
+
+    /** Successful-op latencies in ticks, sorted (percentile base). */
+    std::vector<Tick> latencies;
+    Tick lastCompletion = 0;
+
+    std::vector<ShardMetrics> shards;
+    std::vector<FaultOutcome> faults;
+    OracleMetrics oracle;
+    /** Transition flight-recorder ring, oldest first. */
+    std::vector<std::string> transitions;
+
+    double availability() const;
+    double throughputOpsPerSec(Tick duration) const;
+    /** Exact nearest-rank percentile of the latency set, in ticks. */
+    Tick latencyQuantile(double q) const;
+
+    /** Deterministic envelope row (service table shape). */
+    Json toJson(Tick duration) const;
+};
+
+/** See the file comment. */
+class Service
+{
+  public:
+    explicit Service(const ServiceConfig &cfg);
+    ~Service();
+
+    /** Preload, run the schedule, drain, verify. Reentrant per
+     *  Service instance is NOT supported: build one per run. */
+    ServiceResult run();
+
+    const ServiceConfig &config() const { return cfg; }
+
+  private:
+    struct PendingOp
+    {
+        std::uint64_t id = 0;
+        unsigned client = 0;
+        OpKind kind = OpKind::Read;
+        std::uint64_t key = 0;
+        std::uint8_t fill = 0;
+        Tick firstSubmit = 0;
+        unsigned attempts = 0;
+        BoundedBackoff backoff{1, 1};
+    };
+
+    unsigned shardOf(std::uint64_t key) const;
+    std::uint8_t fillFor(std::uint64_t key, std::uint64_t salt);
+
+    void scheduleClient(unsigned client, Tick at);
+    void submit(PendingOp op, Tick at);
+    void complete(PendingOp &op, Tick at, bool ok);
+    void retryOrFail(PendingOp op, Tick failedAt);
+
+    void onFaultEvent(const FaultEvent &ev);
+    void noteTransition(Tick at, unsigned shard,
+                        const std::string &msg);
+    /** Match a manifested fault to its pending FaultOutcome. */
+    FaultOutcome *pendingFault(unsigned shard, ServiceFault kind);
+
+    /** Online value check of a successful read. */
+    void checkRead(const PendingOp &op, const Shard::OpResult &res);
+    /** Resolve an all-or-nothing crash ambiguity for a write op. */
+    void resolveCrashAmbiguity(const PendingOp &op, unsigned s);
+    /** Full shadow-vs-store pass over one shard. */
+    void verifyShard(unsigned s);
+
+    ServiceConfig cfg;
+    CostModel cost;
+    sim::EventQueue eq;
+    std::vector<std::unique_ptr<Shard>> shards;
+    /** Committed key -> fill byte (the consistency shadow). */
+    std::map<std::uint64_t, std::uint8_t> shadow;
+
+    std::vector<Rng> clientRng;
+    std::unique_ptr<ZipfianGenerator> zipf;
+
+    std::vector<Tick> freeAt;    ///< shard busy-until
+    std::vector<Tick> shedUntil; ///< load-shed window end
+    std::vector<std::uint64_t> insertSeq; ///< per-shard insert keys
+    std::uint64_t keyBase = 0;   ///< first insert key (rounded)
+
+    ServiceResult res;
+    std::uint64_t opSeq = 0;
+    bool ran = false;
+};
+
+} // namespace pmemspec::service
+
+#endif // PMEMSPEC_SERVICE_SERVICE_HH

@@ -1,0 +1,282 @@
+#include "shard.hh"
+
+#include "common/logging.hh"
+
+namespace pmemspec::service
+{
+
+const char *
+shardStateName(ShardState s)
+{
+    switch (s) {
+      case ShardState::Serving:    return "Serving";
+      case ShardState::Recovering: return "Recovering";
+      case ShardState::Degraded:   return "Degraded";
+    }
+    return "unknown";
+}
+
+const char *
+serviceFaultName(ServiceFault f)
+{
+    switch (f) {
+      case ServiceFault::PowerCut:      return "PowerCut";
+      case ServiceFault::MediaPoison:   return "MediaPoison";
+      case ServiceFault::LogPoison:     return "LogPoison";
+      case ServiceFault::MisspecStorm:  return "MisspecStorm";
+    }
+    return "unknown";
+}
+
+Shard::Shard(unsigned id, const ServiceConfig &config)
+    : shardId(id), cfg(config)
+{
+    pmem = std::make_unique<runtime::PersistentMemory>(
+        cfg.pmBytesPerShard);
+    os = std::make_unique<runtime::VirtualOs>();
+    // One runtime thread: the shard serves its queue serially, as a
+    // single-threaded event-loop server would; concurrency lives at
+    // the service layer (clients, queueing, other shards).
+    rt = std::make_unique<runtime::FaseRuntime>(
+        *pmem, *os, 1, runtime::RecoveryPolicy::Lazy, cfg.logBytes,
+        runtime::LogGranularity::Word);
+    rt->setAbortBudget(cfg.abortBudget);
+    pmds::KvConfig kc;
+    kc.buckets = cfg.buckets;
+    kc.valueBytes = cfg.valueBytes;
+    kc.lruTracking = true;
+    store = std::make_unique<pmds::KvStore>(*pmem, kc);
+    inj = std::make_unique<faultinject::FaultInjector>(*pmem, *os);
+
+    // The shard owns the PM observer: count op work for the cost
+    // model, fire an armed power cut at its exact per-op persist
+    // prefix, and forward the access stream to the injector's plans.
+    pmem->setObserver(
+        [this](runtime::MemOp op, Addr a, std::uint32_t n) {
+            if (counting) {
+                if (op == runtime::MemOp::Write) {
+                    ++work.writes;
+                    work.writeBytes += n;
+                } else {
+                    ++work.reads;
+                    work.readBytes += n;
+                }
+                if (pendingCut && op == runtime::MemOp::Write &&
+                    ++cutWrites == *pendingCut + 1) {
+                    pendingCut.reset();
+                    // Observer runs after the persist is queued, so
+                    // exactly *pendingCut entries precede it.
+                    inj->injectPowerCut(cutWrites - 1); // throws
+                }
+            }
+            if (!muted)
+                inj->observeAccess(op, a, n);
+        });
+}
+
+Shard::~Shard()
+{
+    pmem->setObserver(nullptr);
+}
+
+void
+Shard::preload(std::uint64_t key, std::uint8_t fill)
+{
+    rt->runFase(0, [&](runtime::Transaction &tx) {
+        store->set(tx, key, fill);
+    });
+}
+
+void
+Shard::runOp(runtime::Transaction &tx, OpKind op, std::uint64_t key,
+             std::uint8_t fill, unsigned scan_len,
+             std::uint64_t stride, std::optional<std::uint8_t> &value,
+             bool &present)
+{
+    switch (op) {
+      case OpKind::Read:
+        value = store->get(tx, key);
+        present = value.has_value();
+        break;
+      case OpKind::Update:
+      case OpKind::Insert:
+        store->set(tx, key, fill);
+        present = true;
+        break;
+      case OpKind::Scan:
+        for (unsigned i = 0; i < scan_len; ++i) {
+            auto v = store->get(tx, key + i * stride);
+            if (i == 0) {
+                value = v;
+                present = v.has_value();
+            }
+        }
+        break;
+    }
+}
+
+Shard::OpResult
+Shard::apply(OpKind op, std::uint64_t key, std::uint8_t fill,
+             unsigned scan_len, std::uint64_t stride)
+{
+    OpResult res;
+    if (state_ == ShardState::Degraded) {
+        // Degraded mode: recovery refused to vouch for the durable
+        // image, so nothing may be written -- but reads are still
+        // served (non-transactionally: no LRU bump, no log append).
+        if (op == OpKind::Read || op == OpKind::Scan) {
+            try {
+                res.value = store->lookup(key);
+                res.status = res.value ? OpStatus::Ok : OpStatus::Miss;
+            } catch (const runtime::MediaError &) {
+                res.status = OpStatus::MediaError;
+            }
+        } else {
+            res.status = OpStatus::RejectedDegraded;
+        }
+        return res;
+    }
+
+    work.clear();
+    cutWrites = 0;
+    counting = true;
+    const std::uint64_t aborts0 = rt->fasesAborted();
+    std::optional<std::uint8_t> value;
+    bool present = false;
+    try {
+        rt->runFase(0, [&](runtime::Transaction &tx) {
+            runOp(tx, op, key, fill, scan_len, stride, value, present);
+        });
+        res.status = present ? OpStatus::Ok : OpStatus::Miss;
+        res.value = value;
+    } catch (const faultinject::PowerFailure &) {
+        counting = false;
+        res.status = OpStatus::PowerFailure;
+        res.crashed = true;
+        recover(res);
+    } catch (const runtime::AbortBudgetExhausted &) {
+        counting = false;
+        res.status = OpStatus::AbortBudget;
+        // The final attempt is already rolled back; recoverAll
+        // resyncs every log (and attaches the trap window) before
+        // the service reopens the shard behind a shed window.
+        recover(res);
+    } catch (const runtime::MediaError &) {
+        counting = false;
+        res.status = OpStatus::MediaError;
+        // Roll the half-open FASE back from the live log before
+        // anything else touches the image.
+        recover(res);
+        if (state_ == ShardState::Serving) {
+            // If the poison sits in this key's value slab the item
+            // is unreadable for good: quarantine it (erase never
+            // reads the slab), trading one key for the shard.
+            auto region = store->slabRegion(key);
+            if (region && !pmem->poisonedWordsIn(region->first,
+                                                 region->second)
+                               .empty()) {
+                try {
+                    rt->runFase(0, [&](runtime::Transaction &tx) {
+                        store->erase(tx, key);
+                    });
+                    res.quarantinedKey = key;
+                } catch (const runtime::UnrecoverableCorruption &e) {
+                    lastReport_ = e.report;
+                    state_ = ShardState::Degraded;
+                } catch (...) {
+                    recover(res);
+                }
+            }
+        }
+    } catch (const runtime::UnrecoverableCorruption &e) {
+        // A live FASE's log failed verification mid-run (abortFase's
+        // fail-safe); same verdict as a failed recovery.
+        counting = false;
+        res.status = OpStatus::MediaError;
+        res.recovered = true;
+        res.report = e.report;
+        lastReport_ = e.report;
+        state_ = ShardState::Degraded;
+    }
+    counting = false;
+    res.work = work;
+    res.work.aborts = rt->fasesAborted() - aborts0;
+    return res;
+}
+
+void
+Shard::recover(OpResult &res)
+{
+    // Recovery replay must not feed armed plans (the service models
+    // it as happening before the shard reopens for traffic).
+    muted = true;
+    state_ = ShardState::Recovering;
+    ++recoveryPasses;
+    try {
+        res.report = rt->recoverAll();
+        state_ = ShardState::Serving;
+    } catch (const runtime::UnrecoverableCorruption &e) {
+        res.report = e.report;
+        state_ = ShardState::Degraded;
+    }
+    res.recovered = true;
+    lastReport_ = res.report;
+    muted = false;
+}
+
+void
+Shard::armPowerCut(std::size_t prefix)
+{
+    pendingCut = prefix;
+    cutWrites = 0;
+}
+
+void
+Shard::armStorm(std::uint64_t period, std::uint64_t count)
+{
+    // Plans are only ever the storm here (the power cut lives in the
+    // observer), so clearing is safe.
+    inj->clearPlans();
+    auto plan = std::make_unique<faultinject::PeriodicPlan>(
+        faultinject::FaultKind::LoadStale, period, count);
+    storm = plan.get();
+    inj->addPlan(std::move(plan));
+}
+
+bool
+Shard::stormActive() const
+{
+    return storm != nullptr && storm->firesRemaining() > 0;
+}
+
+void
+Shard::disarmPlans()
+{
+    inj->clearPlans();
+    storm = nullptr;
+    pendingCut.reset();
+}
+
+bool
+Shard::poisonValue(std::uint64_t key)
+{
+    auto region = store->slabRegion(key);
+    if (!region)
+        return false;
+    // Word 1, not word 0: the 1-byte checker lookup() stays
+    // readable while any full-value GET faults.
+    const Addr target =
+        region->second > 8 ? region->first + 8 : region->first;
+    inj->injectPoison(target);
+    return true;
+}
+
+void
+Shard::poisonLog()
+{
+    // The entry-count word: recovery reads it first and must refuse
+    // the image when it is unreadable.
+    inj->injectPoison(rt->logRegion(0).first);
+}
+
+} // namespace pmemspec::service

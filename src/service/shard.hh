@@ -1,0 +1,182 @@
+/**
+ * @file
+ * One shard of the always-on service: an independent failure domain.
+ *
+ * Each shard owns its own functional PersistentMemory, VirtualOs,
+ * FaseRuntime, KvStore and FaultInjector -- a power cut, poisoned
+ * word or misspeculation storm in one shard cannot touch another.
+ * The shard installs itself as the PM's access observer: it counts
+ * per-op work for the cost model and forwards every access to the
+ * injector (FaultInjector::observeAccess), so armed fault plans fire
+ * mid-operation exactly as they would with the injector attached
+ * directly.
+ *
+ * Lifecycle on faults (all handled here, never propagated):
+ *
+ *  - PowerFailure  -> recoverAll(), back to Serving (crash TTR is
+ *    charged by the service from the recovery report);
+ *  - AbortBudgetExhausted -> recoverAll() resyncs the logs and the
+ *    service opens a load-shed window;
+ *  - MediaError    -> live-log rollback via recoverAll(); if the
+ *    poison sits in a value slab the item is quarantined (erased):
+ *    the key is lost, the shard is not;
+ *  - UnrecoverableCorruption -> Degraded: reads keep being served
+ *    from the (unvouched-for) image via non-transactional lookups,
+ *    writes are rejected. No global panic.
+ */
+
+#ifndef PMEMSPEC_SERVICE_SHARD_HH
+#define PMEMSPEC_SERVICE_SHARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faultinject/fault_injector.hh"
+#include "faultinject/fault_plan.hh"
+#include "pmds/kv_store.hh"
+#include "runtime/fase_runtime.hh"
+#include "runtime/persistent_memory.hh"
+#include "runtime/virtual_os.hh"
+#include "service/cost_model.hh"
+#include "service/service_config.hh"
+
+namespace pmemspec::service
+{
+
+/** Shard availability state. */
+enum class ShardState : std::uint8_t
+{
+    Serving,
+    Recovering, ///< transient: inside a fault-handling pass
+    Degraded,   ///< read-only: recovery refused to vouch for the image
+};
+
+const char *shardStateName(ShardState s);
+
+/** See the file comment. */
+class Shard
+{
+  public:
+    Shard(unsigned id, const ServiceConfig &cfg);
+    ~Shard();
+
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    /** How one operation ended. */
+    enum class OpStatus : std::uint8_t
+    {
+        Ok,               ///< committed (Read hit counts as Ok)
+        Miss,             ///< committed, key absent
+        PowerFailure,     ///< power cut mid-op; shard recovered
+        AbortBudget,      ///< abort budget tripped; logs resynced
+        MediaError,       ///< poisoned word hit; rolled back
+        RejectedDegraded, ///< write refused in degraded mode
+    };
+
+    struct OpResult
+    {
+        OpStatus status = OpStatus::Ok;
+        std::optional<std::uint8_t> value; ///< Read result on Ok
+        OpWork work;                       ///< observed functional work
+        /** Set when fault handling ran a recovery/rollback pass. */
+        bool recovered = false;
+        runtime::RecoveryReport report;
+        /** The fault was a power cut (full restart TTR applies). */
+        bool crashed = false;
+        /** A poisoned item was quarantined (key lost). */
+        std::optional<std::uint64_t> quarantinedKey;
+    };
+
+    /** Preload one key (no faults armed, not counted as traffic). */
+    void preload(std::uint64_t key, std::uint8_t fill);
+
+    /** Execute one client op functionally; never throws. `scan_len`
+     *  and `stride` only apply to OpKind::Scan. */
+    OpResult apply(OpKind op, std::uint64_t key, std::uint8_t fill,
+                   unsigned scan_len = 0, std::uint64_t stride = 1);
+
+    // ---- Online fault hooks (the service's fault scheduler) ----
+
+    /** Arm (or re-arm) a mid-op power cut at persist prefix
+     *  `prefix`; fires during the next op that queues enough
+     *  persists. */
+    void armPowerCut(std::size_t prefix);
+
+    /** Arm a LoadStale storm: one fire every `period` accesses,
+     *  `count` fires total. */
+    void armStorm(std::uint64_t period, std::uint64_t count);
+
+    /** True while an armed storm still has fires left. */
+    bool stormActive() const;
+
+    /** Poison one word of `key`'s value slab (offset 8, so the
+     *  checker's 1-byte lookup stays readable while a full GET
+     *  faults). @return false when the key is absent. */
+    bool poisonValue(std::uint64_t key);
+
+    /** Poison the undo log's entry-count word: the next recovery
+     *  pass cannot verify the log and degrades the shard. */
+    void poisonLog();
+
+    /** Disarm every plan (a fired PowerCutPlan stays spent). */
+    void disarmPlans();
+
+    // ---- Introspection ----
+
+    unsigned id() const { return shardId; }
+    ShardState state() const { return state_; }
+    const pmds::KvStore &kv() const { return *store; }
+    const runtime::PersistentMemory &pm() const { return *pmem; }
+    runtime::FaseRuntime &runtime() { return *rt; }
+    faultinject::FaultInjector &injector() { return *inj; }
+    const runtime::RecoveryReport &lastReport() const
+    {
+        return lastReport_;
+    }
+    std::uint64_t recoveries() const { return recoveryPasses; }
+
+  private:
+    /** Run recoverAll, absorbing UnrecoverableCorruption into the
+     *  Degraded state. Fills `res.report` / `res.recovered`. */
+    void recover(OpResult &res);
+
+    /** The FASE body of one op (throws the faults it hits). */
+    void runOp(runtime::Transaction &tx, OpKind op,
+               std::uint64_t key, std::uint8_t fill,
+               unsigned scan_len, std::uint64_t stride,
+               std::optional<std::uint8_t> &value, bool &present);
+
+    unsigned shardId;
+    ServiceConfig cfg;
+    std::unique_ptr<runtime::PersistentMemory> pmem;
+    std::unique_ptr<runtime::VirtualOs> os;
+    std::unique_ptr<runtime::FaseRuntime> rt;
+    std::unique_ptr<pmds::KvStore> store;
+    std::unique_ptr<faultinject::FaultInjector> inj;
+
+    ShardState state_ = ShardState::Serving;
+    runtime::RecoveryReport lastReport_;
+    std::uint64_t recoveryPasses = 0;
+
+    /** Live op-work accounting (filled by the PM observer). */
+    OpWork work;
+    bool counting = false;
+    /** Mute plan forwarding (recovery replay must not re-trigger). */
+    bool muted = false;
+    /** The armed storm plan, if any (owned by the injector). */
+    faultinject::PeriodicPlan *storm = nullptr;
+    /** Observer-armed mid-op power cut: fire when the current op
+     *  queues persist pendingCut+1 (exact per-op prefix semantics;
+     *  a FaultPlan's cumulative write count would drift across ops
+     *  because the queue drains at every commit). */
+    std::optional<std::size_t> pendingCut;
+    std::size_t cutWrites = 0;
+};
+
+} // namespace pmemspec::service
+
+#endif // PMEMSPEC_SERVICE_SHARD_HH

@@ -124,7 +124,7 @@ TEST(PersistPath, RetriesOnPmcBackpressure)
     h.path.send(0x1000, std::nullopt);
     h.eq.runUntil(nsToTicks(100));
     EXPECT_TRUE(h.delivered.empty());
-    EXPECT_GT(h.path.retries.value(), 0u);
+    EXPECT_GT(h.path.pathRetries.value(), 0u);
     h.accept = true;
     h.eq.run();
     ASSERT_EQ(h.delivered.size(), 1u);

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/trace.hh"
 #include "faultinject/fault_injector.hh"
 #include "faultinject/fault_plan.hh"
 #include "runtime/fase_runtime.hh"
@@ -202,6 +203,63 @@ TEST(RecoveryReport, CorruptCountedEntryEscalates)
     // Fail-safe: no partial replay reached the data.
     EXPECT_TRUE(h.pm.readU64(h.data) == 1u ||
                 h.pm.readU64(h.data) == 2u);
+}
+
+// A misspeculation storm drives a FASE into its abort budget; the
+// trap window captured at the *signal* must survive the budget
+// exception and come back attached to the recoverAll() report -- the
+// post-mortem must show what the hardware saw, not an empty window.
+TEST(RecoveryReport, AbortBudgetKeepsTrapWindowThroughRecovery)
+{
+    PersistentMemory pm(1 << 20);
+    runtime::VirtualOs os;
+    FaseRuntime rt(pm, os, 1, RecoveryPolicy::Lazy, 1 << 14);
+    FaultInjector inj(pm, os);
+
+    trace::Config tcfg;
+    tcfg.flags = trace::FlagFaseRuntime | trace::FlagFaultInject;
+    tcfg.flightRecorder = true;
+    trace::Manager mgr(tcfg, 0);
+    rt.setTraceManager(&mgr);
+    inj.setTraceManager(&mgr);
+
+    const Addr cell = pm.alloc(8, 64);
+    pm.writeU64(cell, 1);
+    pm.persistAll();
+    inj.attach();
+
+    // Every 2nd access raises a LoadStale interrupt: the FASE can
+    // never commit and must exhaust the (small) abort budget.
+    rt.setAbortBudget(4);
+    inj.addPlan(std::make_unique<faultinject::PeriodicPlan>(
+        faultinject::FaultKind::LoadStale, 2, 1000));
+
+    bool exhausted = false;
+    try {
+        rt.runFase(0, [&](Transaction &tx) { tx.writeU64(cell, 2); });
+    } catch (const runtime::AbortBudgetExhausted &e) {
+        exhausted = true;
+        EXPECT_EQ(e.aborts, 4u);
+    }
+    ASSERT_TRUE(exhausted);
+    inj.clearPlans();
+
+    const RecoveryReport rep = rt.recoverAll();
+    EXPECT_TRUE(rep.consistent);
+    ASSERT_FALSE(rep.trapWindow.empty())
+        << "trap window lost across AbortBudgetExhausted -> "
+           "recoverAll";
+    // The window is the formatted flight tail around the last trap;
+    // it must actually mention the runtime trap event.
+    bool mentions_trap = false;
+    for (const auto &line : rep.trapWindow)
+        mentions_trap = mentions_trap ||
+                        line.find("RtTrap") != std::string::npos;
+    EXPECT_TRUE(mentions_trap) << rep.trapWindow.front();
+    EXPECT_TRUE(rep == rt.lastRecoveryReport());
+    // The final attempt was rolled back before the throw and the
+    // resync found nothing extra: the pre-FASE value stands.
+    EXPECT_EQ(pm.readU64(cell), 1u);
 }
 
 TEST(RecoveryReport, MultiThreadReportsAggregate)

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the serve-through-failure service harness (src/service):
+ * shard lifecycle under each injected fault kind, client-visible SLOs,
+ * the consistency oracle, and run determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "service/service.hh"
+#include "service/zipfian.hh"
+
+using namespace pmemspec;
+using service::FaultEvent;
+using service::OpKind;
+using service::Service;
+using service::ServiceConfig;
+using service::ServiceFault;
+using service::ServiceResult;
+using service::Shard;
+using service::ShardState;
+
+namespace
+{
+
+/** A small, fast config: 2 shards, 4 clients, ~4 ms of sim time. */
+ServiceConfig
+tinyConfig()
+{
+    ServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.clients = 4;
+    cfg.keySpace = 256;
+    cfg.interArrival = nsToTicks(32000);
+    cfg.duration = nsToTicks(4000000);
+    cfg.pmBytesPerShard = std::size_t{1} << 21;
+    cfg.buckets = 128;
+    return cfg;
+}
+
+const service::FaultOutcome &
+outcomeOf(const ServiceResult &res, ServiceFault kind)
+{
+    for (const auto &f : res.faults)
+        if (f.kind == kind)
+            return f;
+    ADD_FAILURE() << "no outcome for fault kind "
+                  << service::serviceFaultName(kind);
+    static service::FaultOutcome none;
+    return none;
+}
+
+} // namespace
+
+TEST(Zipfian, DeterministicAndSkewed)
+{
+    service::ZipfianGenerator z(1000, 0.99);
+    Rng a(7), b(7);
+    std::map<std::uint64_t, unsigned> hist;
+    for (int i = 0; i < 20000; ++i) {
+        const auto ka = z.next(a);
+        ASSERT_EQ(ka, z.next(b)) << "stream not deterministic";
+        ASSERT_LT(ka, 1000u);
+        ++hist[ka];
+    }
+    // Skew: the hottest item (scrambled rank 0) dominates a uniform
+    // share by an order of magnitude.
+    const std::uint64_t hot =
+        service::ZipfianGenerator::scramble(0) % 1000;
+    EXPECT_GT(hist[hot], 20000u / 1000u * 10u);
+}
+
+TEST(Service, FaultFreeRunIsFullyAvailable)
+{
+    ServiceConfig cfg = tinyConfig();
+    const ServiceResult res = Service(cfg).run();
+    EXPECT_GT(res.offered, 100u);
+    EXPECT_EQ(res.succeeded, res.offered);
+    EXPECT_EQ(res.deadlineFailures, 0u);
+    EXPECT_EQ(res.oracle.violations, 0u);
+    EXPECT_GT(res.oracle.checks, res.offered / 2);
+    for (const auto &m : res.shards) {
+        EXPECT_EQ(m.finalState, ShardState::Serving);
+        EXPECT_DOUBLE_EQ(m.availability(), 1.0);
+        EXPECT_EQ(m.recoveries, 0u);
+    }
+    EXPECT_EQ(res.latencies.size(), res.succeeded);
+    // Percentiles come off the sorted set.
+    EXPECT_LE(res.latencyQuantile(0.50), res.latencyQuantile(0.99));
+}
+
+TEST(Service, RunsAreDeterministic)
+{
+    ServiceConfig cfg = tinyConfig();
+    cfg.faults = {{cfg.duration / 4, 0, ServiceFault::PowerCut, 0, 0}};
+    const std::string a =
+        Service(cfg).run().toJson(cfg.duration).dump(2);
+    const std::string b =
+        Service(cfg).run().toJson(cfg.duration).dump(2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Service, PowerCutRecoversWithoutViolations)
+{
+    ServiceConfig cfg = tinyConfig();
+    cfg.faults = {{cfg.duration / 4, 0, ServiceFault::PowerCut, 0, 0}};
+    const ServiceResult res = Service(cfg).run();
+
+    EXPECT_EQ(res.oracle.violations, 0u);
+    EXPECT_GE(res.powerFailures, 1u);
+    const auto &f = outcomeOf(res, ServiceFault::PowerCut);
+    EXPECT_EQ(f.outcome, "recovered");
+    EXPECT_GT(f.triggeredAt, f.injectedAt);
+    EXPECT_GT(f.ttr, 0u);
+    // The cut shard is back; the other shard never blinked.
+    EXPECT_EQ(res.shards[0].finalState, ShardState::Serving);
+    EXPECT_GE(res.shards[0].recoveries, 1u);
+    EXPECT_DOUBLE_EQ(res.shards[1].availability(), 1.0);
+    EXPECT_EQ(res.shards[1].recoveries, 0u);
+    // The interrupted op retried to completion inside its deadline.
+    EXPECT_GE(res.retries, 1u);
+}
+
+TEST(Service, MediaPoisonQuarantinesOneKeyOnly)
+{
+    ServiceConfig cfg = tinyConfig();
+    cfg.faults = {
+        {cfg.duration / 4, 1, ServiceFault::MediaPoison, 0, 0}};
+    const ServiceResult res = Service(cfg).run();
+
+    EXPECT_EQ(res.oracle.violations, 0u);
+    const auto &f = outcomeOf(res, ServiceFault::MediaPoison);
+    EXPECT_EQ(f.outcome, "quarantined");
+    EXPECT_EQ(res.quarantined, 1u);
+    EXPECT_EQ(res.oracle.lostKeys, 1u);
+    // One key traded for the shard: still Serving, no degradation.
+    EXPECT_EQ(res.shards[1].finalState, ShardState::Serving);
+    EXPECT_EQ(res.degradedRejects, 0u);
+}
+
+TEST(Service, LogPoisonDegradesOnlyThatShard)
+{
+    ServiceConfig cfg = tinyConfig();
+    cfg.faults = {
+        {cfg.duration / 4, 1, ServiceFault::LogPoison, 0, 0}};
+    const ServiceResult res = Service(cfg).run();
+
+    EXPECT_EQ(res.oracle.violations, 0u);
+    const auto &f = outcomeOf(res, ServiceFault::LogPoison);
+    EXPECT_EQ(f.outcome, "degraded");
+    // No global panic: shard 1 is read-only, shard 0 untouched.
+    EXPECT_EQ(res.shards[1].finalState, ShardState::Degraded);
+    EXPECT_EQ(res.shards[0].finalState, ShardState::Serving);
+    EXPECT_DOUBLE_EQ(res.shards[0].availability(), 1.0);
+    // Writes bounced, reads kept flowing: the degraded shard stays
+    // partially available instead of going dark.
+    EXPECT_GT(res.degradedRejects, 0u);
+    EXPECT_GT(res.shards[1].availability(), 0.3);
+    EXPECT_LT(res.shards[1].availability(), 1.0);
+    EXPECT_GT(res.oracle.degradedSkipped, 0u);
+}
+
+TEST(Service, MisspecStormShedsOnSpeculativeDesignOnly)
+{
+    ServiceConfig cfg = tinyConfig();
+    cfg.abortBudget = 8;
+    cfg.faults = {
+        {cfg.duration / 4, 0, ServiceFault::MisspecStorm, 0, 0}};
+
+    cfg.design = persistency::Design::PmemSpec;
+    const ServiceResult spec = Service(cfg).run();
+    EXPECT_EQ(spec.oracle.violations, 0u);
+    EXPECT_GE(spec.budgetTrips, 1u);
+    const auto &f = outcomeOf(spec, ServiceFault::MisspecStorm);
+    EXPECT_EQ(f.outcome, "shed+recovered");
+    EXPECT_EQ(spec.shards[0].finalState, ShardState::Serving);
+
+    // No speculation, no storm: the fault cannot exist elsewhere.
+    cfg.design = persistency::Design::IntelX86;
+    const ServiceResult strict = Service(cfg).run();
+    EXPECT_EQ(outcomeOf(strict, ServiceFault::MisspecStorm).outcome,
+              "skipped");
+    EXPECT_EQ(strict.budgetTrips, 0u);
+    EXPECT_EQ(strict.succeeded, strict.offered);
+}
+
+TEST(Service, ShardApplyHandlesDegradedReads)
+{
+    // Unit-level: a degraded shard serves reads non-transactionally
+    // and rejects writes, without touching the runtime.
+    ServiceConfig cfg = tinyConfig();
+    Shard sh(0, cfg);
+    sh.preload(0, 0x42);
+    sh.poisonLog();
+    // First transactional op hits the poisoned log count word,
+    // recovery refuses, the shard degrades.
+    auto r = sh.apply(OpKind::Update, 0, 0x43);
+    EXPECT_EQ(r.status, Shard::OpStatus::MediaError);
+    EXPECT_EQ(sh.state(), ShardState::Degraded);
+
+    auto rd = sh.apply(OpKind::Read, 0, 0);
+    EXPECT_EQ(rd.status, Shard::OpStatus::Ok);
+    EXPECT_EQ(rd.value, std::optional<std::uint8_t>{0x42})
+        << "degraded read must serve the pre-fault value";
+    auto wr = sh.apply(OpKind::Update, 0, 0x44);
+    EXPECT_EQ(wr.status, Shard::OpStatus::RejectedDegraded);
+}
+
+TEST(Service, JsonRowCarriesSlos)
+{
+    ServiceConfig cfg = tinyConfig();
+    cfg.faults = {{cfg.duration / 4, 0, ServiceFault::PowerCut, 0, 0}};
+    const ServiceResult res = Service(cfg).run();
+    const Json j = res.toJson(cfg.duration);
+    for (const char *key :
+         {"design", "offered", "succeeded", "availability",
+          "throughput_ops_s", "latency", "events", "shards", "faults",
+          "oracle", "transitions"}) {
+        EXPECT_NE(j.find(key), nullptr) << key;
+    }
+    EXPECT_NE(j.find("latency")->find("p999_ns"), nullptr);
+    EXPECT_EQ(j.find("shards")->size(), cfg.shards);
+    EXPECT_EQ(j.find("faults")->size(), 1u);
+    EXPECT_NE(j.find("oracle")->find("violations"), nullptr);
+}
