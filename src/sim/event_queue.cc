@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pmemspec::sim
@@ -12,7 +14,8 @@ EventQueue::schedule(Tick when, Callback cb)
              "scheduling event in the past (when=%llu now=%llu)",
              static_cast<unsigned long long>(when),
              static_cast<unsigned long long>(curTick));
-    events.push(Event{when, nextSeq++, std::move(cb)});
+    events.push_back(Event{when, nextSeq++, std::move(cb)});
+    std::push_heap(events.begin(), events.end(), Later{});
 }
 
 bool
@@ -20,11 +23,9 @@ EventQueue::step()
 {
     if (events.empty())
         return false;
-    // priority_queue::top() is const; move the callback out via a copy
-    // of the wrapper (cheap: std::function move after const_cast is UB,
-    // so copy the small struct fields and pop first).
-    Event ev = events.top();
-    events.pop();
+    std::pop_heap(events.begin(), events.end(), Later{});
+    Event ev = std::move(events.back());
+    events.pop_back();
     curTick = ev.when;
     ++numExecuted;
     ev.cb();
@@ -34,7 +35,7 @@ EventQueue::step()
 void
 EventQueue::runUntil(Tick t)
 {
-    while (!events.empty() && events.top().when <= t)
+    while (!events.empty() && events.front().when <= t)
         step();
     if (curTick < t)
         curTick = t;

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -81,7 +80,10 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    /** Min-heap managed with std::push_heap/pop_heap so the earliest
+     *  event can be *moved* out of the container (priority_queue's
+     *  const top() would force a std::function copy per event). */
+    std::vector<Event> events;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
