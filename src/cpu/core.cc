@@ -88,7 +88,7 @@ Core::requestAdvance()
         return;
     advancePending = true;
     Tick delay = pausedUntil > curTick() ? pausedUntil - curTick() : 0;
-    scheduleIn(delay, [this] {
+    schedule(After{delay}, [this] {
         advancePending = false;
         advance();
     });
@@ -102,7 +102,7 @@ Core::chargeIssue()
         // Pay the accumulated issue debt as simulated time.
         const Cycles cycles = issueDebtCycles / cfg.issueWidth;
         issueDebtCycles %= cfg.issueWidth;
-        scheduleIn(clock.cyclesToTicks(cycles),
+        schedule(After{clock.cyclesToTicks(cycles)},
                    [this] { requestAdvance(); });
         return false; // stop advancing until the debt is paid
     }
@@ -147,7 +147,7 @@ Core::execute(const TraceInstr &instr)
         ++instructions;
         ++pc;
         state = State::Waiting;
-        scheduleIn(clock.cyclesToTicks(instr.addr), guardedWake());
+        schedule(After{clock.cyclesToTicks(instr.addr)}, guardedWake());
         return false;
       }
 
@@ -432,7 +432,7 @@ Core::pumpSq()
                 requestAdvance();
             }
         });
-        scheduleIn(clock.period(), [this] { onSqHeadDone(); });
+        schedule(After{clock.period()}, [this] { onSqHeadDone(); });
     } else {
         memsys.store(id, head.addr, head.specId,
                      [this] { onSqHeadDone(); });
@@ -536,7 +536,7 @@ Core::finishAbort()
     insideFase = false;
     faseClosePending = false;
     state = State::Waiting;
-    scheduleIn(abortPenalty, [this] {
+    schedule(After{abortPenalty}, [this] {
         if (state == State::Waiting) {
             state = State::Running;
             requestAdvance();

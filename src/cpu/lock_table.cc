@@ -24,7 +24,7 @@ LockTable::grant(unsigned lock_id, LockState &ls, CoreId core,
     ls.locked = true;
     ls.owner = core;
     ++acquires;
-    scheduleIn(acquireLatency, std::move(cb));
+    schedule(After{acquireLatency}, std::move(cb));
 }
 
 void
@@ -60,7 +60,7 @@ LockTable::release(unsigned lock_id, CoreId core)
     ls.waiters.pop_front();
     ls.owner = w.core;
     ++acquires;
-    scheduleIn(releaseLatency + acquireLatency, std::move(w.cb));
+    schedule(After{releaseLatency + acquireLatency}, std::move(w.cb));
 }
 
 bool

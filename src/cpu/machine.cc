@@ -93,7 +93,7 @@ Machine::deliverMisspecSignal(Addr fault_addr)
         traceMgr->dump(stderr);
     // After the relay latency, every thread currently inside a FASE
     // aborts and re-executes (conservative rollback, Section 6.2).
-    eq.scheduleIn(cfg.misspecInterruptLatency, [this] {
+    eq.schedule(After{cfg.misspecInterruptLatency}, [this] {
         for (auto &core : cores)
             core->abortCurrentFase(cfg.abortHandlerLatency);
     });

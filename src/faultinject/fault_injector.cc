@@ -145,7 +145,7 @@ FaultInjector::injectLoadStale(Addr addr, Tick persist_delay)
     // is still crossing the persist path...
     specBuf->writeBack(block);
     specBuf->read(block);
-    eq.scheduleIn(delay, [this, block] { specBuf->persist(block); });
+    eq.schedule(After{delay}, [this, block] { specBuf->persist(block); });
     // ...until it arrives inside the window and the automaton flags
     // the misspeculation, raising the interrupt synchronously.
     eq.runUntil(eq.now() + delay);
@@ -179,7 +179,7 @@ FaultInjector::injectDelayedPersist(Addr addr, Tick delay)
                    {.arg = static_cast<std::uint64_t>(
                         FaultKind::PersistDelay)});
     specBuf->writeBack(block);
-    eq.scheduleIn(delay, [this, block] { specBuf->persist(block); });
+    eq.schedule(After{delay}, [this, block] { specBuf->persist(block); });
     eq.runUntil(eq.now() + delay);
 }
 
@@ -276,7 +276,7 @@ FaultInjector::persistArrives(Addr block, SpecId id)
         it->second.at = eq.now();
     } else {
         specTrack.emplace(block, SpecTrack{id, eq.now()});
-        eq.scheduleIn(window + 1, [this, block] {
+        eq.schedule(After{window + 1}, [this, block] {
             auto sit = specTrack.find(block);
             if (sit != specTrack.end() &&
                 eq.now() - sit->second.at > window) {

@@ -197,7 +197,7 @@ MemorySystem::missToLlc(CoreId c, Addr block, bool for_store,
                         Done on_done)
 {
     Tick llc_lat = cfg.llcHitLatency + cfg.l1ToLlcExtra;
-    scheduleIn(llc_lat, [this, c, block, for_store,
+    schedule(After{llc_lat}, [this, c, block, for_store,
                          cb = std::move(on_done)]() mutable {
         if (sharedLlc->access(block)) {
             fillL1(c, block, false);
@@ -212,7 +212,7 @@ void
 MemorySystem::load(CoreId c, Addr addr, Done on_done)
 {
     const Addr block = blockAlign(addr);
-    scheduleIn(cfg.l1HitLatency, [this, c, block,
+    schedule(After{cfg.l1HitLatency}, [this, c, block,
                                   cb = std::move(on_done)]() mutable {
         if (l1s[c]->access(block)) {
             cb();
@@ -291,7 +291,7 @@ MemorySystem::store(CoreId c, Addr addr, std::optional<SpecId> spec_id,
     // (Section 4.2); the buffered designs capture at the same point.
     captureStore(c, block, spec_id,
                  [this, c, block, cb = std::move(on_done)]() mutable {
-        scheduleIn(cfg.l1HitLatency, [this, c, block,
+        schedule(After{cfg.l1HitLatency}, [this, c, block,
                                       cb = std::move(cb)]() mutable {
             invalidateOtherL1s(c, block);
             if (l1s[c]->access(block)) {
@@ -330,7 +330,7 @@ void
 MemorySystem::clwb(CoreId c, Addr addr, Done on_done)
 {
     const Addr block = blockAlign(addr);
-    scheduleIn(cfg.l1HitLatency, [this, c, block,
+    schedule(After{cfg.l1HitLatency}, [this, c, block,
                                   cb = std::move(on_done)]() mutable {
         if (dsgn == Design::DPO) {
             // DPO's persist buffers already captured the stores; the
@@ -351,11 +351,11 @@ MemorySystem::clwb(CoreId c, Addr addr, Done on_done)
         // Transport to the PMC, acceptance into the ADR domain, then
         // the completion acknowledgment travelling back to the core
         // (what a following SFENCE actually waits for).
-        scheduleIn(cfg.l1ToPmcLatency,
+        schedule(After{cfg.l1ToPmcLatency},
                    [this, block, cb = std::move(cb)]() mutable {
                        pmcFor(block).writeBack(
                            block, [this, cb = std::move(cb)]() mutable {
-                               scheduleIn(cfg.l1ToPmcLatency,
+                               schedule(After{cfg.l1ToPmcLatency},
                                           std::move(cb));
                            });
                    });
@@ -376,7 +376,7 @@ MemorySystem::specBarrier(CoreId c, Done on_done)
     for (unsigned lane = 0; lane < pathLanes; ++lane) {
         path(c, lane).notifyWhenEmpty([this, remaining, cb] {
             if (--*remaining == 0) {
-                scheduleIn(cfg.l1ToPmcLatency, [cb] { (*cb)(); });
+                schedule(After{cfg.l1ToPmcLatency}, [cb] { (*cb)(); });
             }
         });
     }
@@ -390,7 +390,7 @@ MemorySystem::dfence(CoreId c, Done on_done)
     // The durability ack for the last drained entry returns over the
     // regular on-chip network.
     pbufs[c]->notifyWhenEmpty([this, cb = std::move(on_done)]() mutable {
-        scheduleIn(cfg.l1ToPmcLatency, std::move(cb));
+        schedule(After{cfg.l1ToPmcLatency}, std::move(cb));
     });
 }
 

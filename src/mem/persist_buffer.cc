@@ -146,9 +146,9 @@ PersistBuffer::pump()
             // One bus-injection slot serialises machine-wide flush
             // initiation; the flit itself is pipelined.
             const Tick token_hold = drainLatency / 5;
-            scheduleIn(token_hold, [this] { globalToken->release(); });
+            schedule(After{token_hold}, [this] { globalToken->release(); });
         }
-        scheduleIn(drainLatency, [this, e] { attemptDeliver(e); });
+        schedule(After{drainLatency}, [this, e] { attemptDeliver(e); });
         // Space freed in `pending` may unblock an appender only after
         // the in-flight entry completes; capacity counts both.
     }
@@ -164,7 +164,7 @@ PersistBuffer::attemptDeliver(Entry e)
         // PMC write queue full: retry on the shared bounded-backoff
         // schedule.
         ++pathRetries;
-        scheduleIn(pmcBackoff.next(), [this, e] { attemptDeliver(e); });
+        schedule(After{pmcBackoff.next()}, [this, e] { attemptDeliver(e); });
     }
 }
 

@@ -52,7 +52,7 @@ PersistPath::send(Addr block_addr, std::optional<SpecId> spec_id)
                     .arg = fifo.size(), .unit = traceUnit});
     if (!pumpScheduled) {
         pumpScheduled = true;
-        scheduleIn(arrival - curTick(), [this] { pump(); });
+        schedule(After{arrival - curTick()}, [this] { pump(); });
     }
 }
 
@@ -66,7 +66,7 @@ PersistPath::pump()
     Flit &head = fifo.front();
     if (head.readyAt > curTick()) {
         pumpScheduled = true;
-        scheduleIn(head.readyAt - curTick(), [this] { pump(); });
+        schedule(After{head.readyAt - curTick()}, [this] { pump(); });
         return;
     }
 
@@ -86,7 +86,7 @@ PersistPath::pump()
             Tick delay = fifo.front().readyAt > curTick()
                              ? fifo.front().readyAt - curTick()
                              : 0;
-            scheduleIn(delay, [this] { pump(); });
+            schedule(After{delay}, [this] { pump(); });
         }
     } else {
         // PMC write queue full: retry on the shared bounded-backoff
@@ -96,7 +96,7 @@ PersistPath::pump()
                        trace::EventKind::PathRetry, curTick(), coreId,
                        head.addr, {.unit = traceUnit});
         pumpScheduled = true;
-        scheduleIn(pmcBackoff.next(), [this] { pump(); });
+        schedule(After{pmcBackoff.next()}, [this] { pump(); });
     }
 }
 

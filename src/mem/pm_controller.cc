@@ -72,7 +72,7 @@ PmController::serviceRead(Addr block_addr, Tick enq,
 {
     if (outstandingReads >= cfg.pmcReadQueue) {
         // Read queue full: retry shortly.
-        scheduleIn(ticksPerNs,
+        schedule(After{ticksPerNs},
                    [this, block_addr, enq, cb = std::move(cb)]() mutable {
                        serviceRead(block_addr, enq, std::move(cb));
                    });
@@ -91,7 +91,7 @@ PmController::serviceRead(Addr block_addr, Tick enq,
     Tick start = std::max(curTick(), free_at);
     Tick done = start + cfg.pmReadLatency;
     free_at = done;
-    scheduleIn(done - curTick(), [this, enq, cb = std::move(cb)] {
+    schedule(After{done - curTick()}, [this, enq, cb = std::move(cb)] {
         --outstandingReads;
         readLatencyStat.sample(
             static_cast<double>(curTick() - enq) / ticksPerNs);
@@ -122,14 +122,14 @@ PmController::read(Addr block_addr, std::function<void()> on_done)
             }
             // False positive: delay by the configured penalty.
             ++bloomFalsePositives;
-            scheduleIn(lookup + cfg.bloomFalsePositivePenalty,
+            schedule(After{lookup + cfg.bloomFalsePositivePenalty},
                        [this, block_addr, enq,
                         cb = std::move(on_done)]() mutable {
                            serviceRead(block_addr, enq, std::move(cb));
                        });
             return;
         }
-        scheduleIn(lookup, [this, block_addr, enq,
+        schedule(After{lookup}, [this, block_addr, enq,
                             cb = std::move(on_done)]() mutable {
             serviceRead(block_addr, enq, std::move(cb));
         });
@@ -217,9 +217,9 @@ PmController::serviceWrite(Addr block_addr)
     writeServerFree = start + cfg.pmWriteLatency / cfg.pmBanks;
     Tick done = start + cfg.pmWriteLatency;
     // The block stops being coalescable once its device write starts.
-    scheduleIn(start - curTick(),
+    schedule(After{start - curTick()},
                [this, block_addr] { coalescable.erase(block_addr); });
-    scheduleIn(done - curTick(), [this] {
+    schedule(After{done - curTick()}, [this] {
         panic_if(writeQueue == 0, "write queue underflow");
         --writeQueue;
     });
@@ -234,7 +234,7 @@ PmController::writeBack(Addr block_addr, std::function<void()> on_accepted)
         // queue; ADR makes it durable at acceptance.
         if (writeQueue >= cfg.pmcWriteQueue &&
             coalescable.find(block_addr) == coalescable.end()) {
-            scheduleIn(4 * ticksPerNs,
+            schedule(After{4 * ticksPerNs},
                        [this, block_addr,
                         cb = std::move(on_accepted)]() mutable {
                            writeBack(block_addr, std::move(cb));
@@ -322,7 +322,7 @@ PmController::checkStoreOrder(Addr block_addr, SpecId spec_id)
         specTrack.emplace(block_addr, SpecTrack{spec_id, curTick()});
         // Bound the table: expire this entry after the window unless
         // it was refreshed (lazy sweep keyed on the insertion tick).
-        scheduleIn(window + 1, [this, block_addr] {
+        schedule(After{window + 1}, [this, block_addr] {
             auto sit = specTrack.find(block_addr);
             if (sit != specTrack.end() &&
                 curTick() - sit->second.at > cfg.effectiveSpecWindow()) {

@@ -126,7 +126,7 @@ SpeculationBuffer::armWindow(Entry &e)
     e.inserted = curTick();
     const std::uint64_t gen = ++e.generation;
     Entry *slot = &e;
-    scheduleIn(specWindow, [this, slot, gen] {
+    schedule(After{specWindow}, [this, slot, gen] {
         // Deallocate only if the entry was not reused or refreshed.
         if (slot->valid && slot->generation == gen) {
             noteDeparture(*slot);

@@ -38,10 +38,13 @@ class SimObject
   protected:
     EventQueue &eventQueue() { return eventq; }
 
-    void
-    scheduleIn(Tick delta, EventQueue::Callback cb)
+    /** The unified scheduling interface: absolute tick or After{delta}
+     *  relative to now, forwarding straight into the event kernel. */
+    template <typename W, typename F>
+    EventRef
+    schedule(W when, F &&f)
     {
-        eventq.scheduleIn(delta, std::move(cb));
+        return eventq.schedule(when, std::forward<F>(f));
     }
 
   private:

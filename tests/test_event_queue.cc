@@ -50,7 +50,7 @@ TEST(EventQueue, ScheduleInIsRelative)
     EventQueue eq;
     Tick seen = 0;
     eq.schedule(100, [&] {
-        eq.scheduleIn(50, [&] { seen = eq.now(); });
+        eq.schedule(After{50}, [&] { seen = eq.now(); });
     });
     eq.run();
     EXPECT_EQ(seen, 150u);
@@ -62,9 +62,9 @@ TEST(EventQueue, EventsMayScheduleMoreEvents)
     int depth = 0;
     std::function<void()> chain = [&] {
         if (++depth < 10)
-            eq.scheduleIn(1, chain);
+            eq.schedule(After{1}, chain);
     };
-    eq.scheduleIn(1, chain);
+    eq.schedule(After{1}, chain);
     eq.run();
     EXPECT_EQ(depth, 10);
     EXPECT_EQ(eq.now(), 10u);
@@ -122,7 +122,7 @@ TEST(EventQueue, ExecutedCounts)
 {
     EventQueue eq;
     for (int i = 0; i < 7; ++i)
-        eq.scheduleIn(static_cast<Tick>(i), [] {});
+        eq.schedule(After{static_cast<Tick>(i)}, [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 7u);
 }

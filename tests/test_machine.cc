@@ -120,7 +120,7 @@ TEST(Machine, MisspecInterruptAbortsAndReexecutesFases)
     m.setTraces(std::move(traces));
     // Inject a virtual power failure shortly after the run starts.
     auto &sb = m.memory().pmc().specBuffer();
-    m.eventQueue().scheduleIn(nsToTicks(1), [&] {
+    m.eventQueue().schedule(After{nsToTicks(1)}, [&] {
         sb.reportStoreMisspec(0x10000);
     });
     auto r = m.run();
@@ -139,7 +139,7 @@ TEST(Machine, MisspecOutsideFaseIsHarmless)
     t.push_back({TraceOp::Compute, 10000}); // not inside any FASE
     std::vector<Trace> traces{std::move(t)};
     m.setTraces(std::move(traces));
-    m.eventQueue().scheduleIn(nsToTicks(1), [&] {
+    m.eventQueue().schedule(After{nsToTicks(1)}, [&] {
         m.memory().pmc().specBuffer().reportStoreMisspec(0x10000);
     });
     auto r = m.run();
@@ -161,7 +161,7 @@ TEST(Machine, RollbackReleasesAndReacquiresLocks)
     t.push_back({TraceOp::LockRel, 1});
     std::vector<Trace> traces{t, t};
     m.setTraces(std::move(traces));
-    m.eventQueue().scheduleIn(nsToTicks(100), [&] {
+    m.eventQueue().schedule(After{nsToTicks(100)}, [&] {
         m.memory().pmc().specBuffer().reportStoreMisspec(0x10000);
     });
     auto r = m.run();

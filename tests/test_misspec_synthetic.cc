@@ -118,7 +118,7 @@ TEST(MisspecSynthetic, StoreOrderViolationTriggersRecovery)
     fase.push_back({TraceOp::FaseEnd, 0});
     std::vector<Trace> traces{fase, fase};
     m.setTraces(std::move(traces));
-    m.eventQueue().scheduleIn(nsToTicks(10), [&] {
+    m.eventQueue().schedule(After{nsToTicks(10)}, [&] {
         auto &pmc = m.memory().pmc();
         pmc.acceptPersist(1, 0x40000, SpecId{9});
         pmc.acceptPersist(0, 0x40000, SpecId{4});
@@ -152,7 +152,7 @@ TEST(MisspecSynthetic, RecoveryCostIsBoundedByFaseLength)
     std::vector<Trace> traces{std::move(t)};
     m.setTraces(std::move(traces));
     // Fire the failure while the second FASE runs (after ~50.5us).
-    m.eventQueue().scheduleIn(nsToTicks(50500), [&] {
+    m.eventQueue().schedule(After{nsToTicks(50500)}, [&] {
         m.memory().pmc().specBuffer().reportStoreMisspec(0x1);
     });
     auto r = m.run();
@@ -182,7 +182,7 @@ TEST(MisspecSynthetic, RollbackIsConservativeAcrossThreads)
     outside.push_back({TraceOp::Compute, 20000});
     std::vector<Trace> traces{in_fase, in_fase, outside};
     m.setTraces(std::move(traces));
-    m.eventQueue().scheduleIn(nsToTicks(100), [&] {
+    m.eventQueue().schedule(After{nsToTicks(100)}, [&] {
         m.memory().pmc().specBuffer().reportStoreMisspec(0x1);
     });
     auto r = m.run();
