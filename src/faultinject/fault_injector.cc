@@ -260,33 +260,31 @@ FaultInjector::persistArrives(Addr block, SpecId id)
     PMEMSPEC_TRACE(traceMgr, FlagPmController,
                    trace::EventKind::PmcPersistAccept, eq.now(),
                    trace::kNoCore, block, {.specId = id});
-    auto it = specTrack.find(block);
-    if (it != specTrack.end()) {
-        if (eq.now() - it->second.at <= window &&
-            mem::storeOrderViolated(it->second.id, id)) {
-            PMEMSPEC_TRACE(traceMgr, FlagPmController,
-                           trace::EventKind::PmcStoreOrderViolation,
-                           eq.now(), trace::kNoCore, block,
-                           {.specId = id, .arg = it->second.id});
-            specBuf->reportStoreMisspec(block);
-            specTrack.erase(it);
-            return;
-        }
-        it->second.id = std::max(it->second.id, id);
-        it->second.at = eq.now();
-    } else {
-        specTrack.emplace(block, SpecTrack{id, eq.now()});
+    const auto r = specTrack.specPersist(block, id, eq.now(), window);
+    switch (r.step) {
+      case mem::BlockTable::SpecStep::Violation:
+        PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                       trace::EventKind::PmcStoreOrderViolation,
+                       eq.now(), trace::kNoCore, block,
+                       {.specId = id, .arg = r.prev});
+        specBuf->reportStoreMisspec(block);
+        return;
+
+      case mem::BlockTable::SpecStep::Refreshed:
+        return;
+
+      case mem::BlockTable::SpecStep::Inserted:
         eq.schedule(After{window + 1}, [this, block] {
-            auto sit = specTrack.find(block);
-            if (sit != specTrack.end() &&
-                eq.now() - sit->second.at > window) {
+            SpecId expired;
+            if (specTrack.specExpire(block, eq.now(), window,
+                                     &expired)) {
                 PMEMSPEC_TRACE(traceMgr, FlagPmController,
                                trace::EventKind::PmcTrackExpire,
                                eq.now(), trace::kNoCore, block,
-                               {.specId = sit->second.id});
-                specTrack.erase(sit);
+                               {.specId = expired});
             }
         });
+        return;
     }
 }
 

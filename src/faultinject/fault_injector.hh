@@ -30,13 +30,13 @@
 #ifndef PMEMSPEC_FAULTINJECT_FAULT_INJECTOR_HH
 #define PMEMSPEC_FAULTINJECT_FAULT_INJECTOR_HH
 
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "faultinject/fault_plan.hh"
+#include "mem/block_table.hh"
 #include "mem/speculation_buffer.hh"
 #include "runtime/persistent_memory.hh"
 #include "runtime/virtual_os.hh"
@@ -161,6 +161,21 @@ class FaultInjector
      */
     void setTraceManager(trace::Manager *mgr);
 
+    /**
+     * Capture the modelled PMC order-check table (the per-block
+     * spec-ID automata) as durable metadata, and re-install a capture
+     * -- the crash-consistency hook for explorers that checkpoint the
+     * injector around a simulated outage.
+     */
+    mem::BlockTable::Snapshot orderCheckSnapshot() const
+    {
+        return specTrack.snapshot();
+    }
+    void restoreOrderCheck(const mem::BlockTable::Snapshot &s)
+    {
+        specTrack.restore(s);
+    }
+
     std::uint64_t loadStalesInjected() const { return loadStales; }
     std::uint64_t storeWawsInjected() const { return storeWaws; }
     std::uint64_t powerCutsInjected() const { return powerCuts; }
@@ -195,12 +210,8 @@ class FaultInjector
     bool firing = false; ///< reentrancy guard while injecting
     bool attached = false;
 
-    struct SpecTrack
-    {
-        SpecId id;
-        Tick at;
-    };
-    std::map<Addr, SpecTrack> specTrack;
+    /** Per-block spec-ID order automata (same table the PMC uses). */
+    mem::BlockTable specTrack;
 
     /** See capturedWindow(). */
     std::vector<runtime::PersistentMemory::Pending> windowCapture;

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Struct-of-arrays per-block state table for the PM controller.
+ *
+ * The PMC tracks several small automata per cache block: write-queue
+ * coalescability, media poison (with a transient-heal countdown), the
+ * HOPS pending-persist count plus its read-waiter list, and the
+ * Section 5.2.2 speculation-ID order check. These used to live in
+ * five separate std::map<Addr, ...> instances -- five red-black trees
+ * allocating a node per block and chasing pointers on every persist.
+ *
+ * BlockTable replaces all of them with one open-addressing hash table
+ * (linear probing, power-of-two capacity) whose per-block fields are
+ * stored as parallel arrays: a probe touches only the key/flag lanes,
+ * and each automaton's step is one method that probes once and
+ * resolves the transition in place. Entries are never tombstoned --
+ * clearing an automaton just drops its flag bit, and fully-dead
+ * entries are compacted away at the next rehash -- so probe chains
+ * stay intact without deletion bookkeeping.
+ *
+ * The durable automaton state (everything except the read-waiter
+ * callbacks, which are volatile by nature) can be captured with
+ * snapshot() and re-installed with restore(), giving the fault
+ * injection layer a crash-consistent view of controller metadata.
+ */
+
+#ifndef PMEMSPEC_MEM_BLOCK_TABLE_HH
+#define PMEMSPEC_MEM_BLOCK_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pmemspec::mem
+{
+
+/** See the file comment. */
+class BlockTable
+{
+  public:
+    explicit BlockTable(std::size_t capacity_hint = 256)
+    {
+        std::size_t cap = 16;
+        while (cap < capacity_hint)
+            cap <<= 1;
+        rebuild(cap);
+    }
+
+    // ---- write-queue coalescing automaton --------------------------
+
+    /** Is the block sitting in the write queue, still mergeable? */
+    bool
+    coalescable(Addr a) const
+    {
+        const std::uint32_t i = find(a);
+        return i != kNil && (flags_[i] & kCoalescable);
+    }
+
+    /**
+     * Mark the block coalescable.
+     * @return false when it already was (the caller's store merges).
+     */
+    bool
+    markCoalescable(Addr a)
+    {
+        const std::uint32_t i = findOrInsert(a);
+        if (flags_[i] & kCoalescable)
+            return false;
+        flags_[i] |= kCoalescable;
+        return true;
+    }
+
+    /** The device write started; the block stops being mergeable. */
+    void
+    clearCoalescable(Addr a)
+    {
+        const std::uint32_t i = find(a);
+        if (i != kNil)
+            flags_[i] &= static_cast<std::uint8_t>(~kCoalescable);
+    }
+
+    // ---- media-poison automaton ------------------------------------
+
+    /** Mark the block uncorrectable; `transient_reads` completed
+     *  device reads clear it (0 = hard poison). */
+    void
+    poison(Addr a, unsigned transient_reads)
+    {
+        const std::uint32_t i = findOrInsert(a);
+        flags_[i] |= kPoisoned;
+        poisonTtl_[i] = transient_reads;
+    }
+
+    /** Scrub / full-block-write heal. @return true if poisoned. */
+    bool
+    clearPoison(Addr a)
+    {
+        const std::uint32_t i = find(a);
+        if (i == kNil || !(flags_[i] & kPoisoned))
+            return false;
+        flags_[i] &= static_cast<std::uint8_t>(~kPoisoned);
+        return true;
+    }
+
+    bool
+    poisoned(Addr a) const
+    {
+        const std::uint32_t i = find(a);
+        return i != kNil && (flags_[i] & kPoisoned);
+    }
+
+    enum class PoisonRead
+    {
+        Clean,   ///< block is not poisoned
+        Healed,  ///< this read's transient countdown cleared the error
+        Faulted, ///< still uncorrectable
+    };
+
+    /** Step the poison automaton for one completed device read. */
+    PoisonRead
+    notePoisonRead(Addr a)
+    {
+        const std::uint32_t i = find(a);
+        if (i == kNil || !(flags_[i] & kPoisoned))
+            return PoisonRead::Clean;
+        if (poisonTtl_[i] > 0 && --poisonTtl_[i] == 0) {
+            flags_[i] &= static_cast<std::uint8_t>(~kPoisoned);
+            return PoisonRead::Healed;
+        }
+        return PoisonRead::Faulted;
+    }
+
+    // ---- HOPS pending-persist counter + read waiters ---------------
+
+    unsigned
+    pendingPersists(Addr a) const
+    {
+        const std::uint32_t i = find(a);
+        return i == kNil ? 0 : persistCnt_[i];
+    }
+
+    /** A persist to the block entered a persist buffer. */
+    void
+    persistBuffered(Addr a)
+    {
+        ++persistCnt_[findOrInsert(a)];
+    }
+
+    /**
+     * A persist to the block drained from its buffer.
+     * @return true when the block's count hit zero (waiters runnable).
+     */
+    bool
+    persistDrained(Addr a)
+    {
+        const std::uint32_t i = find(a);
+        panic_if(i == kNil || persistCnt_[i] == 0,
+                 "persist drained without matching buffered persist");
+        return --persistCnt_[i] == 0;
+    }
+
+    /** Queue a callback until the block's pending persists drain. */
+    void
+    addPersistWaiter(Addr a, std::function<void()> f)
+    {
+        const std::uint32_t i = findOrInsert(a);
+        const std::uint32_t w = allocWaiter();
+        waiters_[w].fn = std::move(f);
+        waiters_[w].next = kNil;
+        if (waiterHead_[i] == kNil)
+            waiterHead_[i] = w;
+        else
+            waiters_[waiterTail_[i]].next = w;
+        waiterTail_[i] = w;
+    }
+
+    /** Detach the block's waiters in FIFO order. */
+    std::vector<std::function<void()>>
+    takePersistWaiters(Addr a)
+    {
+        std::vector<std::function<void()>> out;
+        const std::uint32_t i = find(a);
+        if (i == kNil)
+            return out;
+        std::uint32_t w = waiterHead_[i];
+        waiterHead_[i] = waiterTail_[i] = kNil;
+        while (w != kNil) {
+            out.push_back(std::move(waiters_[w].fn));
+            const std::uint32_t next = waiters_[w].next;
+            freeWaiter(w);
+            w = next;
+        }
+        return out;
+    }
+
+    // ---- speculation-ID order automaton (Section 5.2.2) ------------
+
+    enum class SpecStep
+    {
+        Inserted,  ///< first persist in a window: start tracking
+        Refreshed, ///< in-order persist: max-merged, window refreshed
+        Violation, ///< lower ID inside the window: WAW inversion
+    };
+
+    struct SpecResult
+    {
+        SpecStep step;
+        SpecId prev; ///< ID recorded before this step (trace payload)
+    };
+
+    /**
+     * Step the order automaton for a tagged persist: a violation
+     * (storeOrderViolated against the ID recorded within `window`)
+     * clears the entry; otherwise the recorded ID max-merges and the
+     * window restarts. One probe resolves the whole transition.
+     */
+    SpecResult
+    specPersist(Addr a, SpecId id, Tick now, Tick window)
+    {
+        const std::uint32_t i = findOrInsert(a);
+        if (flags_[i] & kSpecTracked) {
+            const SpecId prev = specId_[i];
+            if (now - specAt_[i] <= window && id < prev) {
+                flags_[i] &= static_cast<std::uint8_t>(~kSpecTracked);
+                return {SpecStep::Violation, prev};
+            }
+            specId_[i] = prev > id ? prev : id;
+            specAt_[i] = now;
+            return {SpecStep::Refreshed, prev};
+        }
+        flags_[i] |= kSpecTracked;
+        specId_[i] = id;
+        specAt_[i] = now;
+        return {SpecStep::Inserted, id};
+    }
+
+    /**
+     * Lazy expiry sweep for one block: drops the entry if its window
+     * elapsed without a refresh. @return the expired ID, or kNil32
+     * sentinel via `expired=false` -- i.e. true + ID when expired.
+     */
+    bool
+    specExpire(Addr a, Tick now, Tick window, SpecId *expired_id)
+    {
+        const std::uint32_t i = find(a);
+        if (i == kNil || !(flags_[i] & kSpecTracked) ||
+            now - specAt_[i] <= window)
+            return false;
+        if (expired_id)
+            *expired_id = specId_[i];
+        flags_[i] &= static_cast<std::uint8_t>(~kSpecTracked);
+        return true;
+    }
+
+    bool
+    specTracked(Addr a) const
+    {
+        const std::uint32_t i = find(a);
+        return i != kNil && (flags_[i] & kSpecTracked);
+    }
+
+    // ---- snapshot / restore ----------------------------------------
+
+    /**
+     * Durable per-block automaton state, compacted to live entries.
+     * Read-waiter callbacks are volatile (they reference simulation
+     * objects of the running instance) and are deliberately excluded:
+     * a restore re-installs metadata, not in-flight continuations.
+     */
+    struct Snapshot
+    {
+        std::vector<Addr> key;
+        std::vector<std::uint8_t> flags;
+        std::vector<std::uint32_t> poisonTtl;
+        std::vector<std::uint32_t> persistCnt;
+        std::vector<SpecId> specId;
+        std::vector<Tick> specAt;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        Snapshot s;
+        for (std::uint32_t i = 0; i < cap_; ++i) {
+            if (!(flags_[i] & kOccupied) || dead(i))
+                continue;
+            s.key.push_back(key_[i]);
+            s.flags.push_back(
+                flags_[i] & static_cast<std::uint8_t>(~kOccupied));
+            s.poisonTtl.push_back(poisonTtl_[i]);
+            s.persistCnt.push_back(persistCnt_[i]);
+            s.specId.push_back(specId_[i]);
+            s.specAt.push_back(specAt_[i]);
+        }
+        return s;
+    }
+
+    /** Replace the table contents with a snapshot's (waiters reset). */
+    void
+    restore(const Snapshot &s)
+    {
+        std::size_t cap = 16;
+        while (cap * 10 < s.key.size() * 16)
+            cap <<= 1;
+        rebuild(cap);
+        waiters_.clear();
+        waiterFree_ = kNil;
+        for (std::size_t n = 0; n < s.key.size(); ++n) {
+            const std::uint32_t i = findOrInsert(s.key[n]);
+            flags_[i] = static_cast<std::uint8_t>(s.flags[n] | kOccupied);
+            poisonTtl_[i] = s.poisonTtl[n];
+            persistCnt_[i] = s.persistCnt[n];
+            specId_[i] = s.specId[n];
+            specAt_[i] = s.specAt[n];
+        }
+    }
+
+    /** Live (non-dead) entries; dead ones compact away on rehash. */
+    std::size_t
+    blocksTracked() const
+    {
+        std::size_t n = 0;
+        for (std::uint32_t i = 0; i < cap_; ++i)
+            if ((flags_[i] & kOccupied) && !dead(i))
+                ++n;
+        return n;
+    }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    enum : std::uint8_t
+    {
+        kOccupied = 1,
+        kCoalescable = 2,
+        kPoisoned = 4,
+        kSpecTracked = 8,
+    };
+
+    /** An entry whose automata are all idle; rehash reclaims it. */
+    bool
+    dead(std::uint32_t i) const
+    {
+        return flags_[i] == kOccupied && persistCnt_[i] == 0 &&
+               waiterHead_[i] == kNil;
+    }
+
+    static std::uint64_t
+    hashBlock(Addr a)
+    {
+        return blockNumber(a) * 0x9E3779B97F4A7C15ull;
+    }
+
+    std::uint32_t
+    find(Addr a) const
+    {
+        const Addr k = blockAlign(a);
+        std::uint32_t i =
+            static_cast<std::uint32_t>(hashBlock(k) >> shift_);
+        while (flags_[i] & kOccupied) {
+            if (key_[i] == k)
+                return i;
+            i = (i + 1) & (cap_ - 1);
+        }
+        return kNil;
+    }
+
+    std::uint32_t
+    findOrInsert(Addr a)
+    {
+        const Addr k = blockAlign(a);
+        std::uint32_t i =
+            static_cast<std::uint32_t>(hashBlock(k) >> shift_);
+        while (flags_[i] & kOccupied) {
+            if (key_[i] == k)
+                return i;
+            i = (i + 1) & (cap_ - 1);
+        }
+        if ((occupied_ + 1) * 10 > cap_ * 7) {
+            grow();
+            return findOrInsert(k);
+        }
+        ++occupied_;
+        key_[i] = k;
+        flags_[i] = kOccupied;
+        poisonTtl_[i] = 0;
+        persistCnt_[i] = 0;
+        specId_[i] = 0;
+        specAt_[i] = 0;
+        waiterHead_[i] = kNil;
+        waiterTail_[i] = kNil;
+        return i;
+    }
+
+    void
+    rebuild(std::size_t cap)
+    {
+        cap_ = static_cast<std::uint32_t>(cap);
+        shift_ = 64;
+        while ((std::size_t{1} << (64 - shift_)) < cap)
+            --shift_;
+        occupied_ = 0;
+        key_.assign(cap, 0);
+        flags_.assign(cap, 0);
+        poisonTtl_.assign(cap, 0);
+        persistCnt_.assign(cap, 0);
+        specId_.assign(cap, 0);
+        specAt_.assign(cap, 0);
+        waiterHead_.assign(cap, kNil);
+        waiterTail_.assign(cap, kNil);
+    }
+
+    void
+    grow()
+    {
+        // Re-file live entries into a larger table; dead entries (all
+        // automata idle) are dropped here, which is what bounds the
+        // footprint of long service runs.
+        BlockTable bigger(cap_ * 2);
+        for (std::uint32_t i = 0; i < cap_; ++i) {
+            if (!(flags_[i] & kOccupied) || dead(i))
+                continue;
+            const std::uint32_t j = bigger.findOrInsert(key_[i]);
+            bigger.flags_[j] = flags_[i];
+            bigger.poisonTtl_[j] = poisonTtl_[i];
+            bigger.persistCnt_[j] = persistCnt_[i];
+            bigger.specId_[j] = specId_[i];
+            bigger.specAt_[j] = specAt_[i];
+            bigger.waiterHead_[j] = waiterHead_[i];
+            bigger.waiterTail_[j] = waiterTail_[i];
+        }
+        cap_ = bigger.cap_;
+        shift_ = bigger.shift_;
+        occupied_ = bigger.occupied_;
+        key_ = std::move(bigger.key_);
+        flags_ = std::move(bigger.flags_);
+        poisonTtl_ = std::move(bigger.poisonTtl_);
+        persistCnt_ = std::move(bigger.persistCnt_);
+        specId_ = std::move(bigger.specId_);
+        specAt_ = std::move(bigger.specAt_);
+        waiterHead_ = std::move(bigger.waiterHead_);
+        waiterTail_ = std::move(bigger.waiterTail_);
+        // The waiter pool is indexed independently of the key table
+        // and moves untouched.
+    }
+
+    std::uint32_t
+    allocWaiter()
+    {
+        if (waiterFree_ != kNil) {
+            const std::uint32_t w = waiterFree_;
+            waiterFree_ = waiters_[w].next;
+            return w;
+        }
+        waiters_.push_back({});
+        return static_cast<std::uint32_t>(waiters_.size() - 1);
+    }
+
+    void
+    freeWaiter(std::uint32_t w)
+    {
+        waiters_[w].fn = nullptr;
+        waiters_[w].next = waiterFree_;
+        waiterFree_ = w;
+    }
+
+    struct WaiterNode
+    {
+        std::function<void()> fn;
+        std::uint32_t next = kNil;
+    };
+
+    std::uint32_t cap_ = 0;
+    unsigned shift_ = 64; ///< hash >> shift_ lands in [0, cap_)
+    std::uint32_t occupied_ = 0;
+    std::vector<Addr> key_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<std::uint32_t> poisonTtl_;
+    std::vector<std::uint32_t> persistCnt_;
+    std::vector<SpecId> specId_;
+    std::vector<Tick> specAt_;
+    std::vector<std::uint32_t> waiterHead_;
+    std::vector<std::uint32_t> waiterTail_;
+
+    std::vector<WaiterNode> waiters_;
+    std::uint32_t waiterFree_ = kNil;
+};
+
+} // namespace pmemspec::mem
+
+#endif // PMEMSPEC_MEM_BLOCK_TABLE_HH

@@ -108,12 +108,12 @@ PmController::read(Addr block_addr, std::function<void()> on_done)
         // Every PM read pays the bloom-filter lookup (Section 8.2.2).
         const Tick lookup = cfg.bloomLookupLatency;
         if (bloom.mayContain(block_addr)) {
-            auto it = pendingPersistCount.find(block_addr);
-            if (it != pendingPersistCount.end() && it->second > 0) {
+            if (blocks.pendingPersists(block_addr) > 0) {
                 // Real conflict: the block sits in a persist buffer.
                 // HOPS postpones the read until the buffer drains it.
                 ++bloomTrueHits;
-                persistWaiters[block_addr].push_back(
+                blocks.addPersistWaiter(
+                    block_addr,
                     [this, block_addr, enq,
                      cb = std::move(on_done)]() mutable {
                         serviceRead(block_addr, enq, std::move(cb));
@@ -142,13 +142,13 @@ PmController::read(Addr block_addr, std::function<void()> on_done)
 void
 PmController::poisonBlock(Addr block_addr, unsigned transient_reads)
 {
-    poisonedBlocks[blockAlign(block_addr)] = transient_reads;
+    blocks.poison(block_addr, transient_reads);
 }
 
 bool
 PmController::clearPoisonedBlock(Addr block_addr)
 {
-    return poisonedBlocks.erase(blockAlign(block_addr)) != 0;
+    return blocks.clearPoison(block_addr);
 }
 
 void
@@ -157,18 +157,18 @@ PmController::readAttempt(Addr block_addr, unsigned retries_left,
 {
     read(block_addr, [this, block_addr, retries_left,
                       cb = std::move(cb)]() mutable {
-        auto it = poisonedBlocks.find(blockAlign(block_addr));
-        if (it == poisonedBlocks.end()) {
+        switch (blocks.notePoisonRead(block_addr)) {
+          case BlockTable::PoisonRead::Clean:
             cb(ReadStatus::Ok);
             return;
-        }
-        if (it->second > 0 && --it->second == 0) {
+          case BlockTable::PoisonRead::Healed:
             // A transient error: this completed device read was the
             // one that scrubbed the cell back to health.
-            poisonedBlocks.erase(it);
             ++poisonHeals;
             cb(ReadStatus::Ok);
             return;
+          case BlockTable::PoisonRead::Faulted:
+            break;
         }
         if (retries_left > 0) {
             ++poisonRetries;
@@ -197,18 +197,16 @@ PmController::serviceWrite(Addr block_addr)
     // the PMC buffers whole cache blocks, so another store to the
     // same block merges for free (Section 4.2). A coalesced store
     // consumes no extra write-queue entry.
-    auto it = coalescable.find(block_addr);
-    if (it != coalescable.end()) {
+    if (!blocks.markCoalescable(block_addr)) {
         ++writeCoalesces;
         return;
     }
 
-    coalescable[block_addr] = 1;
     ++writeQueue;
     ++writes;
     // A full-block write remaps an uncorrectable line: fresh data
     // heals the poison (hard or transient alike).
-    poisonedBlocks.erase(blockAlign(block_addr));
+    blocks.clearPoison(block_addr);
     // Writes drain in the background at the device's aggregate write
     // bandwidth; reads have priority and never queue behind them
     // (standard PMC scheduling -- ADR makes write *latency* invisible
@@ -218,7 +216,7 @@ PmController::serviceWrite(Addr block_addr)
     Tick done = start + cfg.pmWriteLatency;
     // The block stops being coalescable once its device write starts.
     schedule(After{start - curTick()},
-               [this, block_addr] { coalescable.erase(block_addr); });
+               [this, block_addr] { blocks.clearCoalescable(block_addr); });
     schedule(After{done - curTick()}, [this] {
         panic_if(writeQueue == 0, "write queue underflow");
         --writeQueue;
@@ -233,7 +231,7 @@ PmController::writeBack(Addr block_addr, std::function<void()> on_accepted)
         // Normal memory behaviour: the writeback enters the write
         // queue; ADR makes it durable at acceptance.
         if (writeQueue >= cfg.pmcWriteQueue &&
-            coalescable.find(block_addr) == coalescable.end()) {
+            !blocks.coalescable(block_addr)) {
             schedule(After{4 * ticksPerNs},
                        [this, block_addr,
                         cb = std::move(on_accepted)]() mutable {
@@ -273,7 +271,7 @@ PmController::acceptPersist(CoreId core, Addr block_addr,
 {
     (void)core; // only the trace points consume it today
     if (writeQueue >= cfg.pmcWriteQueue &&
-        coalescable.find(block_addr) == coalescable.end()) {
+        !blocks.coalescable(block_addr)) {
         ++persistsRefused;
         PMEMSPEC_TRACE(traceMgr, FlagPmController,
                        trace::EventKind::PmcPersistRefuse, curTick(),
@@ -301,39 +299,37 @@ void
 PmController::checkStoreOrder(Addr block_addr, SpecId spec_id)
 {
     const Tick window = cfg.effectiveSpecWindow();
-    auto it = specTrack.find(block_addr);
-    if (it != specTrack.end()) {
-        if (curTick() - it->second.at <= window &&
-            storeOrderViolated(it->second.id, spec_id)) {
-            // A store ordered *earlier* by the happens-before order
-            // persisted after a later one: missing-update hazard.
-            PMEMSPEC_TRACE(traceMgr, FlagPmController,
-                           trace::EventKind::PmcStoreOrderViolation,
-                           curTick(), trace::kNoCore, block_addr,
-                           {.specId = spec_id, .arg = it->second.id,
-                            .unit = traceUnit});
-            specBuf->reportStoreMisspec(block_addr);
-            specTrack.erase(it);
-            return;
-        }
-        it->second.id = std::max(it->second.id, spec_id);
-        it->second.at = curTick();
-    } else {
-        specTrack.emplace(block_addr, SpecTrack{spec_id, curTick()});
+    const auto r = blocks.specPersist(block_addr, spec_id, curTick(),
+                                      window);
+    switch (r.step) {
+      case BlockTable::SpecStep::Violation:
+        // A store ordered *earlier* by the happens-before order
+        // persisted after a later one: missing-update hazard.
+        PMEMSPEC_TRACE(traceMgr, FlagPmController,
+                       trace::EventKind::PmcStoreOrderViolation,
+                       curTick(), trace::kNoCore, block_addr,
+                       {.specId = spec_id, .arg = r.prev,
+                        .unit = traceUnit});
+        specBuf->reportStoreMisspec(block_addr);
+        return;
+
+      case BlockTable::SpecStep::Refreshed:
+        return;
+
+      case BlockTable::SpecStep::Inserted:
         // Bound the table: expire this entry after the window unless
         // it was refreshed (lazy sweep keyed on the insertion tick).
         schedule(After{window + 1}, [this, block_addr] {
-            auto sit = specTrack.find(block_addr);
-            if (sit != specTrack.end() &&
-                curTick() - sit->second.at > cfg.effectiveSpecWindow()) {
+            SpecId expired;
+            if (blocks.specExpire(block_addr, curTick(),
+                                  cfg.effectiveSpecWindow(), &expired)) {
                 PMEMSPEC_TRACE(traceMgr, FlagPmController,
                                trace::EventKind::PmcTrackExpire,
                                curTick(), trace::kNoCore, block_addr,
-                               {.specId = sit->second.id,
-                                .unit = traceUnit});
-                specTrack.erase(sit);
+                               {.specId = expired, .unit = traceUnit});
             }
         });
+        return;
     }
 }
 
@@ -341,25 +337,16 @@ void
 PmController::filterInsert(Addr block_addr)
 {
     bloom.insert(block_addr);
-    ++pendingPersistCount[block_addr];
+    blocks.persistBuffered(block_addr);
 }
 
 void
 PmController::filterRemove(Addr block_addr)
 {
     bloom.remove(block_addr);
-    auto it = pendingPersistCount.find(block_addr);
-    panic_if(it == pendingPersistCount.end() || it->second == 0,
-             "filterRemove without matching insert");
-    if (--it->second == 0) {
-        pendingPersistCount.erase(it);
-        auto wit = persistWaiters.find(block_addr);
-        if (wit != persistWaiters.end()) {
-            auto waiters = std::move(wit->second);
-            persistWaiters.erase(wit);
-            for (auto &cb : waiters)
-                cb();
-        }
+    if (blocks.persistDrained(block_addr)) {
+        for (auto &cb : blocks.takePersistWaiters(block_addr))
+            cb();
     }
 }
 

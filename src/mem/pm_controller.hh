@@ -23,13 +23,13 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/bloom_filter.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/block_table.hh"
 #include "mem/mem_config.hh"
 #include "mem/speculation_buffer.hh"
 #include "persistency/design.hh"
@@ -104,7 +104,7 @@ class PmController : public sim::SimObject
     /** Is the block currently poisoned? */
     bool isBlockPoisoned(Addr block_addr) const
     {
-        return poisonedBlocks.count(blockAlign(block_addr)) != 0;
+        return blocks.poisoned(block_addr);
     }
 
     /**
@@ -174,33 +174,21 @@ class PmController : public sim::SimObject
     Tick writeServerFree = 0; ///< aggregate write-bandwidth server
     unsigned outstandingReads = 0;
     unsigned writeQueue = 0;
-    /** Blocks sitting in the write queue whose device write has not
-     *  started yet; later persists to them coalesce (Section 4.2:
-     *  the PMC "coalesces and buffers the store data"). */
-    std::map<Addr, unsigned> coalescable;
 
-    /** Uncorrectable blocks: value is the countdown of completed
-     *  device reads until a transient error clears (0 = hard). */
-    std::map<Addr, unsigned> poisonedBlocks;
+    /**
+     * All per-block controller state -- write-queue coalescability
+     * (Section 4.2), media poison, the HOPS pending-persist count and
+     * read waiters, and the Section 5.2.2 spec-ID order automaton --
+     * in one struct-of-arrays open-addressing table.
+     */
+    BlockTable blocks;
 
-    /** HOPS: true contents behind the bloom filter. */
+    /** HOPS: bloom filter over the persist buffers' contents; the
+     *  block table holds the true counts behind it. */
     BloomFilter bloom;
-    std::map<Addr, unsigned> pendingPersistCount;
-    std::map<Addr, std::vector<std::function<void()>>> persistWaiters;
 
     /** PMEM-Spec machinery. */
     std::optional<SpeculationBuffer> specBuf;
-
-    /** Spec-ID order tracking (Section 5.2.2): last speculation ID
-     *  observed per block, kept as metadata of the PMC's buffering
-     *  for one speculation window. A tagged persist with a lower ID
-     *  than the recorded one is an inter-thread ordering violation. */
-    struct SpecTrack
-    {
-        SpecId id;
-        Tick at;
-    };
-    std::map<Addr, SpecTrack> specTrack;
 
     /** Run the spec-ID check for a tagged persist. */
     void checkStoreOrder(Addr block_addr, SpecId spec_id);

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the SoA per-block state table, including the
+ * snapshot/restore round-trip the fault-injection layer relies on
+ * when checkpointing controller metadata around a simulated outage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faultinject/fault_injector.hh"
+#include "mem/block_table.hh"
+#include "runtime/persistent_memory.hh"
+#include "runtime/virtual_os.hh"
+
+using namespace pmemspec;
+using mem::BlockTable;
+
+namespace
+{
+
+constexpr Addr kA = 0x1000;
+constexpr Addr kB = 0x2040;
+constexpr Addr kC = 0x30c0;
+
+} // namespace
+
+TEST(BlockTable, CoalescableLifecycle)
+{
+    BlockTable t;
+    EXPECT_FALSE(t.coalescable(kA));
+    EXPECT_TRUE(t.markCoalescable(kA));
+    EXPECT_FALSE(t.markCoalescable(kA)); // second mark = coalesce hit
+    EXPECT_TRUE(t.coalescable(kA));
+    // Sub-block addresses alias the same block entry.
+    EXPECT_TRUE(t.coalescable(kA + 8));
+    t.clearCoalescable(kA);
+    EXPECT_FALSE(t.coalescable(kA));
+    EXPECT_TRUE(t.markCoalescable(kA));
+}
+
+TEST(BlockTable, PoisonAutomaton)
+{
+    BlockTable t;
+    EXPECT_FALSE(t.poisoned(kA));
+    EXPECT_EQ(t.notePoisonRead(kA), BlockTable::PoisonRead::Clean);
+
+    t.poison(kA, 0); // hard poison
+    EXPECT_TRUE(t.poisoned(kA));
+    EXPECT_EQ(t.notePoisonRead(kA), BlockTable::PoisonRead::Faulted);
+    EXPECT_EQ(t.notePoisonRead(kA), BlockTable::PoisonRead::Faulted);
+    EXPECT_TRUE(t.clearPoison(kA));
+    EXPECT_FALSE(t.clearPoison(kA));
+    EXPECT_FALSE(t.poisoned(kA));
+
+    t.poison(kB, 2); // transient: heals on the second completed read
+    EXPECT_EQ(t.notePoisonRead(kB), BlockTable::PoisonRead::Faulted);
+    EXPECT_EQ(t.notePoisonRead(kB), BlockTable::PoisonRead::Healed);
+    EXPECT_FALSE(t.poisoned(kB));
+    EXPECT_EQ(t.notePoisonRead(kB), BlockTable::PoisonRead::Clean);
+}
+
+TEST(BlockTable, PendingPersistCountAndWaiters)
+{
+    BlockTable t;
+    EXPECT_EQ(t.pendingPersists(kA), 0u);
+    t.persistBuffered(kA);
+    t.persistBuffered(kA);
+    EXPECT_EQ(t.pendingPersists(kA), 2u);
+
+    std::vector<int> ran;
+    t.addPersistWaiter(kA, [&] { ran.push_back(1); });
+    t.addPersistWaiter(kA, [&] { ran.push_back(2); });
+    t.addPersistWaiter(kA, [&] { ran.push_back(3); });
+
+    EXPECT_FALSE(t.persistDrained(kA));
+    EXPECT_TRUE(t.persistDrained(kA));
+    for (auto &cb : t.takePersistWaiters(kA))
+        cb();
+    // FIFO: waiters run in arrival order.
+    EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(t.takePersistWaiters(kA).empty());
+}
+
+TEST(BlockTable, PersistDrainedWithoutBufferedPanics)
+{
+    BlockTable t;
+    EXPECT_DEATH(t.persistDrained(kA), "matching");
+}
+
+TEST(BlockTable, SpecOrderAutomaton)
+{
+    const Tick window = 1000;
+    BlockTable t;
+
+    auto r = t.specPersist(kA, 5, 100, window);
+    EXPECT_EQ(r.step, BlockTable::SpecStep::Inserted);
+    EXPECT_TRUE(t.specTracked(kA));
+
+    // In-order persist max-merges and refreshes the window.
+    r = t.specPersist(kA, 9, 200, window);
+    EXPECT_EQ(r.step, BlockTable::SpecStep::Refreshed);
+    EXPECT_EQ(r.prev, 5u);
+
+    // Equal ID re-observed: never a violation.
+    r = t.specPersist(kA, 9, 300, window);
+    EXPECT_EQ(r.step, BlockTable::SpecStep::Refreshed);
+
+    // Lower ID inside the window: WAW inversion, entry cleared.
+    r = t.specPersist(kA, 7, 400, window);
+    EXPECT_EQ(r.step, BlockTable::SpecStep::Violation);
+    EXPECT_EQ(r.prev, 9u);
+    EXPECT_FALSE(t.specTracked(kA));
+
+    // Lower ID but outside the window: stale metadata, no violation.
+    r = t.specPersist(kB, 8, 100, window);
+    EXPECT_EQ(r.step, BlockTable::SpecStep::Inserted);
+    r = t.specPersist(kB, 3, 100 + window + 1, window);
+    EXPECT_EQ(r.step, BlockTable::SpecStep::Refreshed);
+    EXPECT_EQ(r.prev, 8u); // max-merge keeps the higher ID
+
+    // Lazy expiry: a sweep inside the window is a no-op, one past it
+    // drops the entry and reports the expired ID.
+    SpecId expired = 0;
+    EXPECT_FALSE(t.specExpire(kB, 100 + window + 1, window, &expired));
+    EXPECT_TRUE(
+        t.specExpire(kB, 100 + 2 * window + 2, window, &expired));
+    EXPECT_EQ(expired, 8u);
+    EXPECT_FALSE(t.specTracked(kB));
+}
+
+TEST(BlockTable, GrowsPastInitialCapacityAndCompactsDeadEntries)
+{
+    BlockTable t(16);
+    const unsigned n = 4096;
+    for (unsigned i = 0; i < n; ++i)
+        t.poison(static_cast<Addr>(i) * 64, 0);
+    EXPECT_EQ(t.blocksTracked(), n);
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_TRUE(t.poisoned(static_cast<Addr>(i) * 64));
+    // Clearing every automaton leaves dead entries that the next
+    // growth wave compacts away; state must stay correct throughout.
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_TRUE(t.clearPoison(static_cast<Addr>(i) * 64));
+    EXPECT_EQ(t.blocksTracked(), 0u);
+    for (unsigned i = 0; i < n; ++i)
+        t.persistBuffered((static_cast<Addr>(i) * 64) + (1ull << 20));
+    for (unsigned i = 0; i < n; ++i)
+        EXPECT_FALSE(t.poisoned(static_cast<Addr>(i) * 64));
+}
+
+TEST(BlockTable, SnapshotRestoreRoundTrip)
+{
+    const Tick window = 500;
+    BlockTable t;
+    t.markCoalescable(kA);
+    t.poison(kB, 3);
+    t.persistBuffered(kC);
+    t.persistBuffered(kC);
+    t.specPersist(kA, 11, 42, window);
+
+    BlockTable::Snapshot snap = t.snapshot();
+
+    // Mutate everything after the capture...
+    t.clearCoalescable(kA);
+    t.clearPoison(kB);
+    t.persistDrained(kC);
+    t.specPersist(kA, 2, 43, window); // violation clears the entry
+    EXPECT_FALSE(t.specTracked(kA));
+
+    // ...then restore and verify the captured automata come back.
+    t.restore(snap);
+    EXPECT_TRUE(t.coalescable(kA));
+    EXPECT_TRUE(t.poisoned(kB));
+    EXPECT_EQ(t.pendingPersists(kC), 2u);
+    EXPECT_TRUE(t.specTracked(kA));
+    auto r = t.specPersist(kA, 2, 43, window);
+    EXPECT_EQ(r.step, BlockTable::SpecStep::Violation);
+    EXPECT_EQ(r.prev, 11u);
+
+    // The transient-poison countdown survives the round trip.
+    EXPECT_EQ(t.notePoisonRead(kB), BlockTable::PoisonRead::Faulted);
+    EXPECT_EQ(t.notePoisonRead(kB), BlockTable::PoisonRead::Faulted);
+    EXPECT_EQ(t.notePoisonRead(kB), BlockTable::PoisonRead::Healed);
+}
+
+TEST(BlockTable, RestoreIntoPopulatedTableDropsCurrentState)
+{
+    BlockTable t;
+    BlockTable::Snapshot empty = t.snapshot();
+    t.poison(kA, 0);
+    t.markCoalescable(kB);
+    t.restore(empty);
+    EXPECT_FALSE(t.poisoned(kA));
+    EXPECT_FALSE(t.coalescable(kB));
+    EXPECT_EQ(t.blocksTracked(), 0u);
+}
+
+TEST(BlockTable, SnapshotCompactsToLiveEntries)
+{
+    BlockTable t;
+    for (unsigned i = 0; i < 100; ++i)
+        t.poison(static_cast<Addr>(i) * 64, 0);
+    for (unsigned i = 10; i < 100; ++i)
+        t.clearPoison(static_cast<Addr>(i) * 64);
+    BlockTable::Snapshot snap = t.snapshot();
+    EXPECT_EQ(snap.key.size(), 10u);
+}
+
+TEST(FaultInjectorBlockTable, OrderCheckSnapshotRoundTrip)
+{
+    // The injector's modelled PMC order check runs on the same table;
+    // checkpoint it mid-window and verify a restore re-arms the
+    // violation the mutation had consumed.
+    runtime::PersistentMemory pm(1 << 16);
+    runtime::VirtualOs os;
+    faultinject::FaultInjector inj(pm, os);
+
+    inj.injectStoreWaw(0x4000); // persist id=2 then id=1: one misspec
+    const auto misspecs_after_first =
+        inj.specBuffer().storeMisspecs.value();
+    EXPECT_EQ(misspecs_after_first, 1u);
+
+    // A WAW against restored metadata: persist id=2, snapshot,
+    // violate with id=1, restore, violate again.
+    inj.eventQueue().schedule(After{1}, [] {});
+    inj.eventQueue().run();
+
+    BlockTable::Snapshot snap = inj.orderCheckSnapshot();
+    inj.restoreOrderCheck(snap);
+    const BlockTable::Snapshot snap2 = inj.orderCheckSnapshot();
+    EXPECT_EQ(snap.key.size(), snap2.key.size());
+    EXPECT_EQ(snap.specId, snap2.specId);
+    EXPECT_EQ(snap.specAt, snap2.specAt);
+    EXPECT_EQ(snap.flags, snap2.flags);
+}

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/clock.hh"
@@ -125,6 +127,183 @@ TEST(EventQueue, ExecutedCounts)
         eq.schedule(After{static_cast<Tick>(i)}, [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, SameTickFifoAcrossCalendarDays)
+{
+    // FIFO must hold for equal ticks regardless of which bucket (or
+    // the far heap) the events land in at insertion time.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick far_tick = 5'000'000; // beyond the ring horizon
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(far_tick, [&, i] { order.push_back(i); });
+    eq.schedule(1, [&] { order.push_back(100); });
+    for (int i = 8; i < 16; ++i)
+        eq.schedule(far_tick, [&, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 17u);
+    EXPECT_EQ(order[0], 100);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i) + 1], i);
+}
+
+TEST(EventQueue, FarFutureEventsMigrateInOrder)
+{
+    EventQueue eq;
+    std::vector<Tick> at;
+    // Spread events far beyond one ring span, in reverse order.
+    for (int i = 9; i >= 0; --i)
+        eq.schedule(static_cast<Tick>(i) * 3'000'000,
+                    [&] { at.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(at.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(at[static_cast<std::size_t>(i)],
+                  static_cast<Tick>(i) * 3'000'000);
+}
+
+TEST(EventQueue, CancelPendingEvent)
+{
+    EventQueue eq;
+    int ran = 0;
+    auto ref = eq.schedule(10, [&] { ++ran; });
+    eq.schedule(20, [&] { ++ran; });
+    EXPECT_TRUE(eq.scheduled(ref));
+    EXPECT_TRUE(eq.cancel(ref));
+    EXPECT_FALSE(eq.scheduled(ref));
+    EXPECT_FALSE(eq.cancel(ref)); // double cancel is a no-op
+    eq.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, CancelFarFutureEvent)
+{
+    EventQueue eq;
+    int ran = 0;
+    auto far = eq.schedule(9'000'000, [&] { ran += 10; });
+    eq.schedule(5, [&] { ran += 1; });
+    EXPECT_TRUE(eq.cancel(far));
+    eq.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelNullAndExecutedRefs)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(sim::EventRef{}));
+    EXPECT_FALSE(eq.scheduled(sim::EventRef{}));
+    auto ref = eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(ref)); // already executed
+    EXPECT_FALSE(eq.scheduled(ref));
+}
+
+TEST(EventQueue, SelfCancelDuringExecutionIsNoOp)
+{
+    EventQueue eq;
+    sim::EventRef self;
+    bool cancelled = true;
+    self = eq.schedule(5, [&] { cancelled = eq.cancel(self); });
+    eq.run();
+    EXPECT_FALSE(cancelled);
+    EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, CancelledCallableIsDestroyedOnce)
+{
+    EventQueue eq;
+    auto count = std::make_shared<int>(0);
+    auto ref = eq.schedule(10, [count] { (void)count; });
+    EXPECT_EQ(count.use_count(), 2);
+    EXPECT_TRUE(eq.cancel(ref));
+    EXPECT_EQ(count.use_count(), 1); // destroyed at cancel time
+    eq.run();
+}
+
+TEST(EventQueue, StaleRefDoesNotAliasReusedSlot)
+{
+    // Arena reuse-after-free: once an event fires, its slot recycles
+    // for new events; the stale ref's generation must not match.
+    EventQueue eq;
+    auto first = eq.schedule(1, [] {});
+    eq.run();
+    int ran = 0;
+    auto second = eq.schedule(After{1}, [&] { ++ran; });
+    // The recycled slot likely has the same index but a newer gen.
+    EXPECT_FALSE(eq.cancel(first));
+    EXPECT_FALSE(eq.scheduled(first));
+    EXPECT_TRUE(eq.scheduled(second));
+    eq.run();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, ArenaChurnReusesSlots)
+{
+    // Heavy schedule/cancel/fire churn across many arena chunks; the
+    // sanitizer job turns any use-after-free in slot recycling fatal.
+    EventQueue eq;
+    std::uint64_t ran = 0;
+    std::vector<sim::EventRef> refs;
+    for (int round = 0; round < 50; ++round) {
+        refs.clear();
+        for (int i = 0; i < 600; ++i)
+            refs.push_back(eq.schedule(After{static_cast<Tick>(i % 7)},
+                                       [&] { ++ran; }));
+        for (std::size_t i = 0; i < refs.size(); i += 3)
+            EXPECT_TRUE(eq.cancel(refs[i]));
+        eq.run();
+    }
+    EXPECT_EQ(ran, 50u * 400u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, LargeCallablesAreBoxedAndDestroyed)
+{
+    EventQueue eq;
+    struct Big
+    {
+        std::shared_ptr<int> token;
+        unsigned char pad[96]; // force the heap-boxed path
+    };
+    auto token = std::make_shared<int>(7);
+    int got = 0;
+    eq.schedule(1, [big = Big{token, {}}, &got] { got = *big.token; });
+    auto ref = eq.schedule(2, [big = Big{token, {}}] { (void)big; });
+    EXPECT_EQ(token.use_count(), 3);
+    EXPECT_TRUE(eq.cancel(ref));
+    EXPECT_EQ(token.use_count(), 2);
+    eq.run();
+    EXPECT_EQ(got, 7);
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, PendingCountTracksCancellation)
+{
+    EventQueue eq;
+    auto a = eq.schedule(10, [] {});
+    auto b = eq.schedule(7'000'000, [] {}); // far heap
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_TRUE(eq.cancel(b));
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.cancel(a));
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, PendingCallablesDestroyedWithQueue)
+{
+    auto token = std::make_shared<int>(1);
+    {
+        EventQueue eq;
+        eq.schedule(50, [token] { (void)token; });
+        eq.schedule(8'000'000, [token] { (void)token; });
+        EXPECT_EQ(token.use_count(), 3);
+    }
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(Clock, DefaultIsTwoGigahertz)
