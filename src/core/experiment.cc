@@ -65,7 +65,8 @@ runExperiment(const ExperimentConfig &cfg)
 NormalizedRow
 makeNormalizedRow(workloads::BenchId bench,
                   const std::vector<Design> &designs,
-                  const std::map<Design, double> &raw, Design baseline)
+                  const persistency::DesignTable<double> &raw,
+                  Design baseline)
 {
     NormalizedRow row;
     row.bench = bench;
@@ -74,8 +75,8 @@ makeNormalizedRow(workloads::BenchId bench,
     row.throughput = raw;
     const double base = raw.at(baseline);
     panic_if(base <= 0, "zero baseline throughput");
-    for (const auto &[d, tput] : raw)
-        row.normalized[d] = tput / base;
+    for (Design d : persistency::allDesigns())
+        row.normalized[d] = raw.at(d) / base;
     return row;
 }
 
@@ -91,7 +92,7 @@ runNormalized(workloads::BenchId bench,
         to_run.end())
         to_run.insert(to_run.begin(), baseline);
 
-    std::map<Design, double> raw;
+    persistency::DesignTable<double> raw;
     for (Design d : to_run) {
         ExperimentConfig cfg;
         cfg.withBench(bench).withDesign(d).withMachine(machine);

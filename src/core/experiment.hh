@@ -9,7 +9,6 @@
 #ifndef PMEMSPEC_CORE_EXPERIMENT_HH
 #define PMEMSPEC_CORE_EXPERIMENT_HH
 
-#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -133,17 +132,18 @@ struct NormalizedRow
     persistency::Design baseline = persistency::Design::IntelX86;
     /** Designs of this row in column order. */
     std::vector<persistency::Design> designs;
-    /** Raw FASEs per second. */
-    std::map<persistency::Design, double> throughput;
+    /** Raw FASEs per second, one inline slot per design (designs not
+     *  measured in this row read as 0). */
+    persistency::DesignTable<double> throughput;
     /** Throughput divided by the baseline design's. */
-    std::map<persistency::Design, double> normalized;
+    persistency::DesignTable<double> normalized;
 };
 
 /** Assemble a NormalizedRow from raw per-design throughputs. */
 NormalizedRow
 makeNormalizedRow(workloads::BenchId bench,
                   const std::vector<persistency::Design> &designs,
-                  const std::map<persistency::Design, double> &raw,
+                  const persistency::DesignTable<double> &raw,
                   persistency::Design baseline =
                       persistency::Design::IntelX86);
 

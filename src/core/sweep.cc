@@ -135,7 +135,7 @@ runNormalizedSweep(const std::vector<workloads::BenchId> &benches,
     rows.reserve(benches.size());
     std::size_t idx = 0;
     for (auto b : benches) {
-        std::map<Design, double> raw;
+        persistency::DesignTable<double> raw;
         for (Design d : to_run) {
             const auto &r = results[idx++];
             fatal_if(!r.ok(), "sweep point %s failed: %s",

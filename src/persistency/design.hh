@@ -6,6 +6,8 @@
 #ifndef PMEMSPEC_PERSISTENCY_DESIGN_HH
 #define PMEMSPEC_PERSISTENCY_DESIGN_HH
 
+#include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,42 @@ designFromName(const std::string &name, Design &out)
     }
     return false;
 }
+
+/** Number of Design enumerators (DesignTable's extent). */
+inline constexpr std::size_t kNumDesigns = 4;
+
+/**
+ * Fixed-size value table indexed by Design: the drop-in replacement
+ * for std::map<Design, T> in per-row results. Four inline slots,
+ * value-initialized -- no allocation, no tree walk, trivially
+ * copyable for T like double. The map-style at() spelling is kept so
+ * read sites work unchanged against either container.
+ */
+template <typename T>
+class DesignTable
+{
+  public:
+    T &operator[](Design d) { return v_[index(d)]; }
+    const T &operator[](Design d) const { return v_[index(d)]; }
+
+    T &at(Design d) { return v_[index(d)]; }
+    const T &at(Design d) const { return v_[index(d)]; }
+
+    bool
+    operator==(const DesignTable &o) const
+    {
+        return v_ == o.v_;
+    }
+
+  private:
+    static constexpr std::size_t
+    index(Design d)
+    {
+        return static_cast<std::size_t>(d);
+    }
+
+    std::array<T, kNumDesigns> v_{};
+};
 
 /** True for the designs that keep persistent updates in per-core
  *  persist buffers beside the L1 (Figure 1a/1b). */

@@ -88,7 +88,8 @@ TEST(Experiment, NormalizedBaselineIsOne)
     EXPECT_EQ(row.baseline, Design::IntelX86);
     EXPECT_EQ(row.designs, persistency::allDesigns());
     EXPECT_DOUBLE_EQ(row.normalized[Design::IntelX86], 1.0);
-    for (auto [d, v] : row.normalized) {
+    for (Design d : row.designs) {
+        const double v = row.normalized.at(d);
         EXPECT_GT(v, 0.1) << persistency::designName(d);
         EXPECT_LT(v, 10.0);
         // The raw throughputs back out of the normalised values.
