@@ -14,13 +14,16 @@
 #include "common/bloom_filter.hh"
 #include "common/rng.hh"
 #include "common/trace.hh"
+#include "core/experiment.hh"
 #include "mem/cache.hh"
 #include "mem/persist_path.hh"
+#include "persistency/lowering.hh"
 #include "pmds/pm_rbtree.hh"
 #include "runtime/fase_runtime.hh"
 #include "runtime/undo_log.hh"
 #include "runtime/virtual_os.hh"
 #include "sim/event_queue.hh"
+#include "workloads/workload.hh"
 
 using namespace pmemspec;
 
@@ -177,6 +180,58 @@ BM_RbTreeInsertErase(benchmark::State &state)
     }
 }
 BENCHMARK(BM_RbTreeInsertErase)->Iterations(50000);
+
+/**
+ * Simulated-ops/sec of the whole timing machine on the fig09
+ * configuration (Table 3 defaults, 8 cores, TPCC), one benchmark per
+ * design (arg = Design enumerator). Traces are generated and lowered
+ * once in setup; every iteration constructs and runs a fresh timing
+ * machine, so items/sec is committed FASEs per host second -- the
+ * simulator-core throughput number CI gates against BENCH_simcore.json.
+ */
+static void
+BM_SimCoreFig09(benchmark::State &state)
+{
+    const auto design =
+        static_cast<persistency::Design>(state.range(0));
+    cpu::MachineConfig machine = core::defaultMachineConfig(8);
+    machine.design = design;
+    machine.mem.l1ToLlcExtra =
+        design == persistency::Design::HOPS ? nsToTicks(1.0) : 0;
+
+    workloads::WorkloadParams params;
+    params.numThreads = 8;
+    params.opsPerThread = 50;
+    const auto logical =
+        workloads::generateTraces(workloads::BenchId::Tpcc, params);
+    std::vector<cpu::Trace> traces;
+    traces.reserve(logical.size());
+    for (const auto &lt : logical)
+        traces.push_back(persistency::lower(lt, design));
+
+    std::uint64_t fases = 0;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        cpu::Machine m(machine);
+        m.setTraces(traces); // copy: each run consumes its own
+        const auto r = m.run();
+        fases += r.fases;
+        events += r.events;
+        benchmark::DoNotOptimize(fases);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(fases));
+    state.counters["events_per_fase"] = benchmark::Counter(
+        fases ? static_cast<double>(events) /
+                    static_cast<double>(fases)
+              : 0);
+    state.SetLabel(persistency::designName(design));
+}
+BENCHMARK(BM_SimCoreFig09)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 
 // Custom main: translate the repo-wide `--json PATH` flag into
 // google-benchmark's JSON reporter so this binary emits a

@@ -479,7 +479,7 @@ Core::wakeDrainWaiters()
 }
 
 void
-Core::waitDrained(std::function<void()> then)
+Core::waitDrained(InplaceFn<void()> then)
 {
     if (drained()) {
         then();

@@ -31,6 +31,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/inplace_fn.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
@@ -141,7 +142,7 @@ class Core : public sim::SimObject
 
     /** Block until the SQ is empty and every issued CLWB has been
      *  acknowledged, then run `then`. */
-    void waitDrained(std::function<void()> then);
+    void waitDrained(InplaceFn<void()> then);
 
     bool drained() const { return sq.empty() && clwbOutstanding == 0; }
     /** No instruction in flight anywhere. */
@@ -189,7 +190,7 @@ class Core : public sim::SimObject
     bool waitingBarrier = false;
     /** Trace exhausted; waiting for in-flight work before done. */
     bool waitingFinish = false;
-    std::vector<std::function<void()>> drainWaiters;
+    std::vector<InplaceFn<void()>> drainWaiters;
 
     std::optional<SpecId> specIdReg;
     std::function<SpecId()> specIdSource;

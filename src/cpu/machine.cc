@@ -124,6 +124,7 @@ Machine::run()
              "(deadlock)", coresDone, cores.size());
 
     RunResult r;
+    r.events = eq.executed();
     for (auto &core : cores) {
         r.simTicks = std::max(r.simTicks, core->finishTick());
         r.fases += core->fasesCompleted();

@@ -56,6 +56,8 @@ struct RunResult
     std::uint64_t specBufFullPauses = 0;
     /** Section 7 oracle: undetectable cross-PMC order violations. */
     std::uint64_t crossPmcReorderHazards = 0;
+    /** Host-side cost metric: discrete events the kernel executed. */
+    std::uint64_t events = 0;
 
     /** Committed FASEs per simulated second. */
     double

@@ -32,7 +32,7 @@ SetAssocCache::find(Addr block_addr)
 {
     Line *set = &lines[setIndex(block_addr) * waysPerSet];
     for (unsigned w = 0; w < waysPerSet; ++w) {
-        if (set[w].valid && set[w].tag == block_addr)
+        if (set[w].matches(block_addr))
             return &set[w];
     }
     return nullptr;
@@ -69,7 +69,7 @@ SetAssocCache::isDirty(Addr block_addr) const
     panic_if(!line, "%s: isDirty on absent block %#llx",
              cacheName.c_str(),
              static_cast<unsigned long long>(block_addr));
-    return line->dirty;
+    return line->dirty();
 }
 
 void
@@ -79,7 +79,7 @@ SetAssocCache::markDirty(Addr block_addr)
     panic_if(!line, "%s: markDirty on absent block %#llx",
              cacheName.c_str(),
              static_cast<unsigned long long>(block_addr));
-    line->dirty = true;
+    line->meta |= Line::kDirty;
     line->lastUse = ++useClock;
 }
 
@@ -87,7 +87,7 @@ void
 SetAssocCache::markClean(Addr block_addr)
 {
     if (Line *line = find(block_addr))
-        line->dirty = false;
+        line->meta &= ~Line::kDirty;
 }
 
 std::optional<Eviction>
@@ -97,7 +97,8 @@ SetAssocCache::insert(Addr block_addr, bool dirty)
              "%s: inserting unaligned address", cacheName.c_str());
     if (Line *line = find(block_addr)) {
         // Re-insertion of a present block just updates metadata.
-        line->dirty = line->dirty || dirty;
+        if (dirty)
+            line->meta |= Line::kDirty;
         line->lastUse = ++useClock;
         return std::nullopt;
     }
@@ -105,7 +106,7 @@ SetAssocCache::insert(Addr block_addr, bool dirty)
     Line *set = &lines[setIndex(block_addr) * waysPerSet];
     Line *victim = nullptr;
     for (unsigned w = 0; w < waysPerSet; ++w) {
-        if (!set[w].valid) {
+        if (!set[w].valid()) {
             victim = &set[w];
             break;
         }
@@ -114,18 +115,17 @@ SetAssocCache::insert(Addr block_addr, bool dirty)
     }
 
     std::optional<Eviction> evicted;
-    if (victim->valid) {
+    if (victim->valid()) {
         ++evictions;
-        if (victim->dirty)
+        if (victim->dirty())
             ++dirtyEvictions;
-        evicted = Eviction{victim->tag, victim->dirty};
+        evicted = Eviction{victim->tag(), victim->dirty()};
     } else {
         ++validCount;
     }
 
-    victim->tag = block_addr;
-    victim->valid = true;
-    victim->dirty = dirty;
+    victim->meta = block_addr | Line::kValid |
+                   (dirty ? Line::kDirty : std::uint64_t{0});
     victim->lastUse = ++useClock;
     return evicted;
 }
@@ -136,9 +136,10 @@ SetAssocCache::invalidate(Addr block_addr)
     Line *line = find(block_addr);
     if (!line)
         return std::nullopt;
-    line->valid = false;
+    const bool was_dirty = line->dirty();
+    line->meta = 0;
     --validCount;
-    return line->dirty;
+    return was_dirty;
 }
 
 } // namespace pmemspec::mem

@@ -86,12 +86,30 @@ class SetAssocCache
     Counter dirtyEvictions;
 
   private:
+    /**
+     * One tag-array entry, packed to 16 bytes so a 4-way set probes a
+     * single host cache line. The block tag is 64-byte aligned, so
+     * its low bits carry the valid/dirty flags.
+     */
     struct Line
     {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
+        static constexpr std::uint64_t kValid = 1;
+        static constexpr std::uint64_t kDirty = 2;
+        static constexpr std::uint64_t kTagMask =
+            ~std::uint64_t{blockBytes - 1};
+
+        std::uint64_t meta = 0; ///< tag | flags
         std::uint64_t lastUse = 0;
+
+        bool valid() const { return meta & kValid; }
+        bool dirty() const { return meta & kDirty; }
+        Addr tag() const { return meta & kTagMask; }
+        bool
+        matches(Addr block_addr) const
+        {
+            return (meta & (kTagMask | kValid)) ==
+                   (block_addr | kValid);
+        }
     };
 
     std::size_t setIndex(Addr block_addr) const;

@@ -32,6 +32,7 @@ MemorySystem::MemorySystem(sim::EventQueue &eq, StatGroup *parent,
         l1s.push_back(std::make_unique<SetAssocCache>(
             "l1d" + std::to_string(c), cfg.l1Bytes, cfg.l1Ways));
     }
+    l1DirEnabled = cfg.numCores <= 64;
     sharedLlc = std::make_unique<SetAssocCache>("llc", cfg.llcBytes,
                                                 cfg.llcWays);
     for (unsigned i = 0; i < cfg.numPmcs; ++i) {
@@ -133,11 +134,23 @@ MemorySystem::recordPersistArrival(CoreId c, std::uint64_t seq)
 void
 MemorySystem::invalidateOtherL1s(CoreId c, Addr block)
 {
-    for (CoreId o = 0; o < cfg.numCores; ++o) {
-        if (o == c)
-            continue;
+    if (!l1DirEnabled) {
+        for (CoreId o = 0; o < cfg.numCores; ++o) {
+            if (o == c)
+                continue;
+            if (l1s[o]->invalidate(block))
+                ++coherenceInvalidations;
+        }
+        return;
+    }
+    std::uint64_t mask =
+        l1Dir.get(block) & ~(std::uint64_t{1} << c);
+    while (mask) {
+        const auto o = static_cast<CoreId>(__builtin_ctzll(mask));
+        mask &= mask - 1;
         if (l1s[o]->invalidate(block))
             ++coherenceInvalidations;
+        l1Dir.clearBit(block, o);
     }
 }
 
@@ -158,6 +171,7 @@ MemorySystem::fillL1(CoreId c, Addr block, bool dirty)
     if (auto llc_ev = sharedLlc->insert(block, false))
         handleLlcEviction(*llc_ev);
     if (auto l1_ev = l1s[c]->insert(block, dirty)) {
+        l1Dir.clearBit(l1_ev->blockAddr, c);
         if (l1_ev->dirty) {
             // Dirty L1 victim migrates into the LLC.
             if (sharedLlc->contains(l1_ev->blockAddr)) {
@@ -168,6 +182,7 @@ MemorySystem::fillL1(CoreId c, Addr block, bool dirty)
             }
         }
     }
+    l1Dir.setBit(block, c);
 }
 
 void

@@ -28,6 +28,7 @@
 #include "mem/persist_buffer.hh"
 #include "mem/persist_path.hh"
 #include "mem/pm_controller.hh"
+#include "mem/sharer_directory.hh"
 #include "persistency/design.hh"
 #include "sim/sim_object.hh"
 
@@ -143,6 +144,11 @@ class MemorySystem : public sim::SimObject
     persistency::Design dsgn;
 
     std::vector<std::unique_ptr<SetAssocCache>> l1s;
+    /** Exact L1-sharer bitmasks so store-drain invalidations only
+     *  probe cores that actually hold the block. Disabled (empty
+     *  broadcast fallback) beyond 64 cores. */
+    SharerDirectory l1Dir;
+    bool l1DirEnabled = true;
     std::unique_ptr<SetAssocCache> sharedLlc;
     std::vector<std::unique_ptr<PmController>> pmControllers;
     /** Persist-path lanes: paths[c * pathLanes + lane]. */

@@ -118,7 +118,7 @@ PersistPath::drainWaiters()
 }
 
 void
-PersistPath::notifyWhenEmpty(std::function<void()> cb)
+PersistPath::notifyWhenEmpty(Waiter cb)
 {
     if (fifo.empty()) {
         cb();
@@ -128,7 +128,7 @@ PersistPath::notifyWhenEmpty(std::function<void()> cb)
 }
 
 void
-PersistPath::notifyWhenNotFull(std::function<void()> cb)
+PersistPath::notifyWhenNotFull(Waiter cb)
 {
     if (!full()) {
         cb();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/backoff.hh"
+#include "common/inplace_fn.hh"
 #include "common/stats.hh"
 #include "mem/pmc_retry.hh"
 #include "common/trace.hh"
@@ -85,13 +86,16 @@ class PersistPath : public sim::SimObject
     /** @return true when nothing is in flight (spec-barrier test). */
     bool empty() const { return fifo.empty(); }
 
+    /** One-shot completion waiter (moved in, invoked once). */
+    using Waiter = InplaceFn<void()>;
+
     /** Invoke cb once the path next becomes empty (immediately if it
      *  already is). Used by spec-barrier. */
-    void notifyWhenEmpty(std::function<void()> cb);
+    void notifyWhenEmpty(Waiter cb);
 
     /** Invoke cb once the path next has a free slot. Used by the
      *  store queue when it hit backpressure. */
-    void notifyWhenNotFull(std::function<void()> cb);
+    void notifyWhenNotFull(Waiter cb);
 
     Tick latency() const { return pathLatency; }
 
@@ -134,8 +138,8 @@ class PersistPath : public sim::SimObject
     std::deque<Flit> fifo;
     Tick lastArrival = 0;
     bool pumpScheduled = false;
-    std::vector<std::function<void()>> emptyWaiters;
-    std::vector<std::function<void()>> spaceWaiters;
+    std::vector<Waiter> emptyWaiters;
+    std::vector<Waiter> spaceWaiters;
 
     trace::Manager *traceMgr = nullptr;
     std::uint16_t traceUnit = 0;

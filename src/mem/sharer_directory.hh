@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Host-side acceleration of the invalidation-based coherence model:
+ * an exact block -> L1-sharer bitmask directory.
+ *
+ * The timing model broadcasts every store drain to all other L1s;
+ * done literally that is numCores-1 tag-array probes per store, and
+ * it dominates the simulator's host profile. The directory tracks
+ * exactly which L1s hold each block so the broadcast only touches
+ * actual sharers. It changes nothing observable: the caches stay
+ * authoritative, the directory is pure bookkeeping kept in sync at
+ * the three membership-mutation sites (fill, eviction, invalidate).
+ *
+ * Open-addressed, power-of-two capacity, linear probing, same
+ * multiplicative hash as mem::BlockTable. Entries whose mask drops
+ * to zero become tombstones (kept for probe continuity) and are
+ * compacted away on growth.
+ */
+
+#ifndef PMEMSPEC_MEM_SHARER_DIRECTORY_HH
+#define PMEMSPEC_MEM_SHARER_DIRECTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pmemspec::mem
+{
+
+/** Exact map from block address to a bitmask of sharer cores. */
+class SharerDirectory
+{
+  public:
+    explicit SharerDirectory(std::size_t initial_capacity = 1024)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        rebuild(cap);
+    }
+
+    /** Sharer mask of a block (0 when nobody holds it). */
+    std::uint64_t
+    get(Addr block) const
+    {
+        const std::size_t i = find(block);
+        return i == npos ? 0 : mask_[i];
+    }
+
+    /** Core `core` gained the block (idempotent). */
+    void
+    setBit(Addr block, unsigned core)
+    {
+        const std::size_t i = findOrInsert(block);
+        mask_[i] |= std::uint64_t{1} << core;
+    }
+
+    /** Core `core` dropped the block; the entry tombstones at 0. */
+    void
+    clearBit(Addr block, unsigned core)
+    {
+        const std::size_t i = find(block);
+        if (i == npos)
+            return;
+        mask_[i] &= ~(std::uint64_t{1} << core);
+    }
+
+    /** Number of slots holding a key (live + tombstoned). */
+    std::size_t occupied() const { return used_; }
+
+  private:
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    std::size_t
+    bucket(Addr block) const
+    {
+        return static_cast<std::size_t>(
+                   (blockNumber(block) *
+                    0x9E3779B97F4A7C15ull) >> shift_);
+    }
+
+    std::size_t
+    find(Addr block) const
+    {
+        std::size_t i = bucket(block);
+        for (;;) {
+            if (!present_[i])
+                return npos;
+            if (key_[i] == block)
+                return i;
+            i = (i + 1) & (cap_ - 1);
+        }
+    }
+
+    std::size_t
+    findOrInsert(Addr block)
+    {
+        std::size_t i = bucket(block);
+        for (;;) {
+            if (!present_[i]) {
+                if (used_ * 10 >= cap_ * 7) { // 0.7 load factor
+                    grow();
+                    return findOrInsert(block);
+                }
+                present_[i] = 1;
+                key_[i] = block;
+                mask_[i] = 0;
+                ++used_;
+                return i;
+            }
+            if (key_[i] == block)
+                return i;
+            i = (i + 1) & (cap_ - 1);
+        }
+    }
+
+    void
+    rebuild(std::size_t cap)
+    {
+        cap_ = cap;
+        shift_ = 64;
+        for (std::size_t c = cap; c > 1; c >>= 1)
+            --shift_;
+        used_ = 0;
+        key_.assign(cap, 0);
+        mask_.assign(cap, 0);
+        present_.assign(cap, 0);
+    }
+
+    void
+    grow()
+    {
+        SharerDirectory bigger(cap_ * 2);
+        for (std::size_t i = 0; i < cap_; ++i) {
+            if (!present_[i] || mask_[i] == 0)
+                continue; // tombstones die here
+            const std::size_t j = bigger.findOrInsert(key_[i]);
+            bigger.mask_[j] = mask_[i];
+        }
+        *this = std::move(bigger);
+    }
+
+    std::size_t cap_ = 0;
+    unsigned shift_ = 64;
+    std::size_t used_ = 0;
+    std::vector<Addr> key_;
+    std::vector<std::uint64_t> mask_;
+    std::vector<std::uint8_t> present_;
+};
+
+} // namespace pmemspec::mem
+
+#endif // PMEMSPEC_MEM_SHARER_DIRECTORY_HH

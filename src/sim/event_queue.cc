@@ -272,19 +272,27 @@ EventQueue::migrateFarMin()
 std::uint32_t
 EventQueue::popMin()
 {
+    std::uint32_t idx = kNil;
     if (farLive != 0) {
         cleanFarTop();
-        if (ringCount == 0) {
-            migrateFarMin();
-        } else {
+        bool migrate = true;
+        if (ringCount != 0) {
             const Slot &ft = slotAt(farHeap.front());
-            const Slot &rm = slotAt(findRingMin());
-            if (ft.when < rm.when ||
-                (ft.when == rm.when && ft.seq < rm.seq))
-                migrateFarMin();
+            const Slot &rm = slotAt(idx = findRingMin());
+            migrate = ft.when < rm.when ||
+                      (ft.when == rm.when && ft.seq < rm.seq);
         }
+        if (migrate) {
+            // The migrated event is the new global minimum and
+            // migrateFarMin() re-anchored baseDay on it, so it heads
+            // its (now earliest) bucket -- no re-scan needed.
+            migrateFarMin();
+            idx = buckets[static_cast<std::uint32_t>(baseDay) &
+                          kBucketMask].head;
+        }
+    } else {
+        idx = findRingMin();
     }
-    const std::uint32_t idx = findRingMin();
     Slot &s = slotAt(idx);
     baseDay = s.when >> kDayShift; // keep the window anchored at now
     const std::uint32_t b =

@@ -145,13 +145,16 @@ class EventQueue
   private:
     static constexpr std::uint32_t kNil = 0xffffffffu;
 
-    /** Calendar geometry: a "day" is 2^kDayShift ticks (~1ns), the
+    /** Calendar geometry: a "day" is 2^kDayShift ticks (~0.25ns), the
      *  ring spans kBuckets days (~1us). Nearly every latency in the
      *  machine (cache hits, device reads, persist paths, speculation
      *  windows) lands inside the ring; only coarse timers (service
-     *  arrival processes, fault schedules) take the far heap. */
-    static constexpr unsigned kDayShift = 10;
-    static constexpr std::uint32_t kBuckets = 1024;
+     *  arrival processes, fault schedules) take the far heap. Narrow
+     *  days keep the sorted per-bucket chains short -- chain walks in
+     *  ringInsert dominate the kernel's profile when many same-day
+     *  events share a bucket. */
+    static constexpr unsigned kDayShift = 8;
+    static constexpr std::uint32_t kBuckets = 4096;
     static constexpr std::uint32_t kBucketMask = kBuckets - 1;
 
     /** Arena chunking: slot i lives at chunks[i >> kChunkShift]. */
