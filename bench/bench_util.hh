@@ -10,6 +10,9 @@
  * Common CLI (BenchOptions):
  *   --ops N          FASEs per thread (bare argv[1] still accepted)
  *   --jobs N         sweep worker threads (0/default = host cores)
+ *   --sim-threads N  domain-parallel host threads inside one run
+ *                    (service shards / crash-exploration ops);
+ *                    0 = host cores, results byte-identical for any N
  *   --json PATH      write machine-readable results (BENCH_*.json)
  *   --designs A,B    subset of IntelX86,DPO,HOPS,PMEM-Spec
  *   --trace FLAGS    event tracing (PersistPath,PmController,
@@ -56,6 +59,11 @@ struct BenchOptions
     std::uint64_t ops = defaultOps;
     /** Sweep worker threads; 0 = hardware concurrency. */
     unsigned jobs = 0;
+    /** Domain-parallel threads inside one simulated run (service
+     *  shards, crash-exploration ops); 0 = hardware concurrency.
+     *  Results are byte-identical for any value (DESIGN.md sec. 12),
+     *  so this knob trades wall clock only. */
+    unsigned simThreads = 1;
     /** Output path for the JSON results; empty = stdout only. */
     std::string jsonPath;
     std::vector<persistency::Design> designs =
@@ -98,6 +106,19 @@ struct BenchOptions
             } else if (arg == "--jobs") {
                 opt.jobs = static_cast<unsigned>(parseCount(
                     argv[0], "--jobs", value("--jobs").c_str()));
+            } else if (arg == "--sim-threads") {
+                // 0 is meaningful here (= hardware concurrency), so
+                // this flag bypasses parseCount's positivity check.
+                const std::string v = value("--sim-threads");
+                if (v.empty() ||
+                    v.find_first_not_of("0123456789") !=
+                        std::string::npos)
+                    usageExit(argv[0], 1,
+                              "--sim-threads wants a non-negative "
+                              "integer, got '%s'",
+                              v.c_str());
+                opt.simThreads = static_cast<unsigned>(
+                    std::strtoull(v.c_str(), nullptr, 10));
             } else if (arg == "--json") {
                 opt.jsonPath = value("--json");
             } else if (arg == "--designs") {
@@ -149,7 +170,8 @@ struct BenchOptions
         std::fprintf(
             code ? stderr : stdout,
             "usage: %s [ops_per_thread] [--ops N] [--jobs N]\n"
-            "       [--json PATH] [--designs A,B,...]\n"
+            "       [--sim-threads N] [--json PATH] "
+            "[--designs A,B,...]\n"
             "       [--trace FLAGS] [--trace-out PATH] "
             "[--trace-ring N]\n"
             "       [--flight-recorder] [--help]\n"
@@ -157,6 +179,10 @@ struct BenchOptions
             "  --ops N        FASEs per thread\n"
             "  --jobs N       parallel sweep workers (default: host "
             "cores)\n"
+            "  --sim-threads N  domain-parallel threads inside one "
+            "run\n"
+            "                 (0 = host cores; output is "
+            "byte-identical for any N)\n"
             "  --json PATH    write machine-readable results "
             "(pmemspec-bench-v1)\n"
             "  --designs L    comma list of IntelX86,DPO,HOPS,"

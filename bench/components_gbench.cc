@@ -15,6 +15,9 @@
 #include "common/rng.hh"
 #include "common/trace.hh"
 #include "core/experiment.hh"
+#include "faultinject/crash_explorer.hh"
+#include "faultinject/pmds_workloads.hh"
+#include "service/service.hh"
 #include "mem/cache.hh"
 #include "mem/persist_path.hh"
 #include "persistency/lowering.hh"
@@ -231,6 +234,84 @@ BENCHMARK(BM_SimCoreFig09)
     ->Arg(1)
     ->Arg(2)
     ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Host-thread scaling of the domain-parallel service run (arg =
+ * --sim-threads): one full ycsb_service-shaped run per iteration --
+ * 8 shard domains, default chaos disabled, PMEM-Spec design --
+ * executed on N host threads. items/sec is succeeded client ops per
+ * host second, the FASEs/s axis of the EXPERIMENTS.md scaling table
+ * and the number CI gates against BENCH_service.json. The merged
+ * result is byte-identical across the arg values (DESIGN.md section
+ * 12); only the wall clock moves, so the ratio between args IS the
+ * scaling curve.
+ */
+static void
+BM_ServiceScaling(benchmark::State &state)
+{
+    service::ServiceConfig cfg;
+    cfg.shards = 8;
+    cfg.clients = 8;
+    cfg.duration = nsToTicks(4000000); // 4 ms simulated
+    cfg.design = persistency::Design::PmemSpec;
+    cfg.simThreads = static_cast<unsigned>(state.range(0));
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        service::Service svc(cfg);
+        const auto r = svc.run();
+        ops += r.succeeded;
+        benchmark::DoNotOptimize(ops);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+    state.SetLabel("sim_threads=" +
+                   std::to_string(state.range(0)));
+}
+// UseRealTime: with worker threads the main thread's CPU clock is
+// mostly idle (it joins the pool), so the default CPU-time rate
+// would be meaningless; wall clock is the quantity being scaled.
+BENCHMARK(BM_ServiceScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Host-thread scaling of the parallel crash-state exploration (arg =
+ * threads handed to exploreCrashPointsParallel): the pm_queue
+ * workload with reorder exploration at the default depth. items/sec
+ * is reordered crash states explored per host second -- the states/s
+ * axis of the EXPERIMENTS.md scaling table.
+ */
+static void
+BM_CrashExploreScaling(benchmark::State &state)
+{
+    const auto factory =
+        faultinject::workloadFactory("pm_queue");
+    faultinject::ExploreOptions eopt;
+    eopt.reorderings = true;
+
+    std::uint64_t states = 0;
+    for (auto _ : state) {
+        const auto res = faultinject::exploreCrashPointsParallel(
+            factory, eopt,
+            static_cast<unsigned>(state.range(0)));
+        states += res.reorderStatesExplored;
+        benchmark::DoNotOptimize(states);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(states));
+    state.SetLabel("sim_threads=" +
+                   std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CrashExploreScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 // Custom main: translate the repo-wide `--json PATH` flag into

@@ -17,9 +17,11 @@
  * the exit code: zero oracle violations and >= 99% availability on
  *  every shard a fault was not injected into.
  *
- * Each (config, design) run is a single-host-threaded discrete-event
- * simulation; --jobs only parallelises across designs, so the JSON is
- * byte-identical at any job count.
+ * Each (config, design) run is a deterministic discrete-event
+ * simulation; --jobs parallelises across designs and --sim-threads
+ * parallelises the per-shard simulation domains inside one run
+ * (DESIGN.md section 12). The JSON is byte-identical at any --jobs
+ * or --sim-threads value.
  */
 
 #include <algorithm>
@@ -48,10 +50,14 @@ usageExit(const char *prog, int code)
         "usage: %s [--duration-us N] [--shards N] [--clients N]\n"
         "       [--keys N] [--arrival-ns N] [--seed N]\n"
         "       [--faults SPEC[,SPEC...]|none] [--slo]\n"
-        "       [--jobs N] [--json PATH] [--designs A,B,...]\n"
+        "       [--jobs N] [--sim-threads N] [--json PATH]\n"
+        "       [--designs A,B,...]\n"
         "\n"
         "  SPEC = kind:shard:at_us with kind one of\n"
         "         powercut, poison, logpoison, storm\n"
+        "  --sim-threads N  host threads over the per-shard\n"
+        "         simulation domains of one run (0 = host cores);\n"
+        "         the output is byte-identical for any N\n"
         "  --slo  exit non-zero unless: zero oracle violations and\n"
         "         availability >= 0.99 on every shard without an\n"
         "         injected fault (per design)\n",
@@ -238,6 +244,9 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(parseCount(
                 argv[0], "--jobs", value("--jobs")));
+        } else if (arg == "--sim-threads") {
+            base.simThreads = static_cast<unsigned>(parseCount(
+                argv[0], "--sim-threads", value("--sim-threads")));
         } else if (arg == "--json") {
             jsonPath = value("--json");
         } else if (arg == "--designs") {
@@ -274,8 +283,8 @@ main(int argc, char **argv)
     base.faults = faults;
     fatal_if(designs.empty(), "no designs selected");
 
-    // One deterministic run per design; --jobs only parallelises
-    // across designs (each run is single-threaded inside).
+    // One deterministic run per design; --jobs parallelises across
+    // designs, cfg.simThreads across the shard domains inside each.
     std::vector<ServiceResult> results(designs.size());
     core::SweepRunner runner(jobs);
     runner.forEach(designs.size(), [&](std::size_t i) {

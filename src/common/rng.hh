@@ -73,6 +73,25 @@ class Rng
         return uniform() < p;
     }
 
+    /**
+     * Derive an independent child generator for stream `stream` of a
+     * parent `seed` (clients, shards, domains...). The stream index
+     * is itself passed through splitmix64 -- a bijection on 64-bit
+     * words -- before being folded into the parent seed, so for a
+     * fixed seed two distinct stream indices can never produce the
+     * same child seed (unlike the previous ad-hoc
+     * `seed * GOLDEN + stream` folding, where seeds a multiple of
+     * GOLDEN apart aliased whole stream families).
+     */
+    static Rng
+    split(std::uint64_t seed, std::uint64_t stream)
+    {
+        std::uint64_t s = stream;
+        const std::uint64_t mixed = splitmix64(s);
+        std::uint64_t p = seed;
+        return Rng(splitmix64(p) ^ mixed);
+    }
+
   private:
     static std::uint64_t
     splitmix64(std::uint64_t &x)

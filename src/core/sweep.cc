@@ -1,11 +1,11 @@
 #include "sweep.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <fstream>
 #include <thread>
 
 #include "common/logging.hh"
+#include "sim/domain_pool.hh"
 
 namespace pmemspec::core
 {
@@ -27,41 +27,11 @@ SweepRunner::forEach(std::size_t n,
                      const std::function<void(std::size_t)> &task,
                      std::vector<std::string> *errors) const
 {
-    std::vector<std::string> local_errors(n);
-    std::atomic<std::size_t> next{0};
-
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                task(i);
-            } catch (const std::exception &e) {
-                // Each slot is written by exactly one worker, so the
-                // pool keeps draining the remaining points.
-                local_errors[i] = e.what();
-                if (local_errors[i].empty())
-                    local_errors[i] = "unknown std::exception";
-            } catch (...) {
-                local_errors[i] = "unknown exception";
-            }
-        }
-    };
-
-    const auto nthreads = static_cast<unsigned>(
-        std::min<std::size_t>(njobs, n));
-    if (nthreads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(nthreads);
-        for (unsigned t = 0; t < nthreads; ++t)
-            pool.emplace_back(worker);
-        for (auto &th : pool)
-            th.join();
-    }
+    // Each sweep point is an independent simulation domain; the
+    // generic pool provides the dispatch + per-index error capture.
+    // Only the error prefix ("sweep point" vs "domain") is ours.
+    std::vector<std::string> local_errors;
+    sim::DomainPool(njobs).run(n, task, &local_errors);
 
     if (errors) {
         *errors = std::move(local_errors);

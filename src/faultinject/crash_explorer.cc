@@ -12,6 +12,7 @@
 #include "faultinject/fault_plan.hh"
 #include "faultinject/reorder_explorer.hh"
 #include "runtime/virtual_os.hh"
+#include "sim/domain_pool.hh"
 
 namespace pmemspec::faultinject
 {
@@ -88,45 +89,127 @@ class RecordingPlan : public FaultPlan
     std::set<Addr> &blocks;
 };
 
-} // namespace
-
-ExploreResult
-exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
+/**
+ * One workload instance's exploration machinery: the PM arena,
+ * runtime and injector, plus the per-operation explore/fast-forward
+ * primitives. The sequential path walks one OpExplorer through every
+ * op; the parallel path builds a private OpExplorer per op and
+ * fast-forwards it to that op's start state.
+ *
+ * The state-equivalence contract between the two primitives:
+ * exploreOp()'s terminating trial is restore(pre) -> recoverAll ->
+ * persistAll -> runFase (committed) -> applyToModel -> persistAll,
+ * and commitOp() replays exactly that sequence (the armed
+ * PowerCutPlan of the trial never fires on the committed run and
+ * plans only observe, so omitting it cannot change a byte). Hence
+ * commitOp(0..op-1) and exploreOp(0..op-1) leave identical PM images
+ * and shadow models, which is what makes per-op fragments
+ * position-independent.
+ */
+class OpExplorer
 {
-    ExploreResult res;
-    res.workload = wl.name();
+  public:
+    OpExplorer(CrashWorkload &wl, const ExploreOptions &opts)
+        : wl(wl), opts(opts), pm(wl.pmBytes()),
+          rt(pm, os, 1, runtime::RecoveryPolicy::Lazy, wl.logBytes()),
+          inj(pm, os),
+          windowDepth(std::min<unsigned>(opts.windowDepth, 16))
+    {
+        rcfg.exhaustiveBits = opts.reorderExhaustiveBits;
+        rcfg.maxSubsets = opts.maxReorderSubsets;
+        rcfg.seed = opts.enumSeed;
 
-    runtime::PersistentMemory pm(wl.pmBytes());
-    runtime::VirtualOs os;
-    runtime::FaseRuntime rt(pm, os, 1, runtime::RecoveryPolicy::Lazy,
-                            wl.logBytes());
+        wl.setup(pm, rt);
+        pm.persistAll();
+        inj.attach();
+    }
 
-    wl.setup(pm, rt);
-    pm.persistAll();
+    /** Fast-forward one operation: commit it along the same
+     *  machine-level path the sequential explorer's successful trial
+     *  takes, without exploring any crash point. */
+    void
+    commitOp(std::size_t op)
+    {
+        pm.persistAll();
+        const auto pre = pm.snapshot();
+        pm.restore(pre);
+        rt.recoverAll();
+        pm.persistAll();
+        inj.clearPlans();
+        rt.runFase(0,
+                   [&](runtime::Transaction &tx) { wl.runOp(tx, op); });
+        wl.applyToModel(op);
+        pm.persistAll();
+    }
 
-    FaultInjector inj(pm, os);
-    inj.attach();
+    /** Explore every crash point of one operation into `frag` (one
+     *  fragment: frag.ops == 1), leaving the operation committed. */
+    void exploreOp(std::size_t op, ExploreResult &frag);
 
-    auto fail = [&](std::size_t op, std::size_t k, const char *what) {
-        ++res.failures;
+  private:
+    void
+    fail(ExploreResult &frag, std::size_t op, std::size_t k,
+         const char *what)
+    {
+        ++frag.failures;
         // Cap the stored messages: a pathological workload can fail
         // at thousands of states, and the count is what matters past
-        // the first examples.
-        if (res.messages.size() >= opts.maxMessages) {
-            ++res.messagesSuppressed;
+        // the first examples. The cap also applies per fragment --
+        // the merge can only ever drop messages the global cap would
+        // have dropped too.
+        if (frag.messages.size() >= opts.maxMessages) {
+            ++frag.messagesSuppressed;
             return;
         }
-        res.messages.push_back(std::string(wl.name()) + ": op " +
-                               std::to_string(op) + ", crash prefix " +
-                               std::to_string(k) + ": " + what);
-    };
+        frag.messages.push_back(std::string(wl.name()) + ": op " +
+                                std::to_string(op) +
+                                ", crash prefix " +
+                                std::to_string(k) + ": " + what);
+    }
 
-    const unsigned windowDepth =
-        std::min<unsigned>(opts.windowDepth, 16);
+    CrashWorkload &wl;
+    const ExploreOptions &opts;
+    runtime::PersistentMemory pm;
+    runtime::VirtualOs os;
+    runtime::FaseRuntime rt;
+    FaultInjector inj;
+    unsigned windowDepth;
     ReorderConfig rcfg;
-    rcfg.exhaustiveBits = opts.reorderExhaustiveBits;
-    rcfg.maxSubsets = opts.maxReorderSubsets;
-    rcfg.seed = opts.enumSeed;
+};
+
+void
+OpExplorer::exploreOp(std::size_t op, ExploreResult &frag)
+{
+    ++frag.ops;
+    pm.persistAll();
+    const auto pre = pm.snapshot();
+
+    // Reference committed image: the commit record is not the
+    // FASE's last persist (tombstones trail it), so a crash can
+    // land *past* the durable commit point. Recovery then keeps
+    // the new state -- the "all" of all-or-nothing -- and the
+    // oracle must recognise it. Run the op once uninterrupted to
+    // learn what that state looks like, then rewind. In reorder
+    // mode the same run also records the operation's dirty-block
+    // set: recovery only ever writes the logged data blocks and
+    // the log region, both of which this run touches, so every
+    // trial state of this op agrees with `pre` outside it.
+    std::set<Addr> dirtySet;
+    std::vector<runtime::PersistentMemory::Pending> refStream;
+    inj.clearPlans();
+    if (opts.reorderings)
+        inj.addPlan(std::make_unique<RecordingPlan>(pm, refStream,
+                                                    dirtySet));
+    rt.runFase(0,
+               [&](runtime::Transaction &tx) { wl.runOp(tx, op); });
+    pm.persistAll();
+    const std::vector<std::uint8_t> post_image(
+        pm.persistedImage(), pm.persistedImage() + pm.size());
+    pm.restore(pre);
+    rt.recoverAll();
+    pm.persistAll();
+    inj.clearPlans();
+    const std::vector<Addr> dirty(dirtySet.begin(), dirtySet.end());
 
     // After recovery the two images must agree once in-flight
     // persists drain: recovery may not leave state that exists only
@@ -137,314 +220,357 @@ exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
                            pm.size()) == 0;
     };
 
-    for (std::size_t op = 0; op < wl.numOps(); ++op) {
-        ++res.ops;
+    auto committedDurably = [&] {
         pm.persistAll();
-        const auto pre = pm.snapshot();
+        return std::memcmp(pm.persistedImage(), post_image.data(),
+                           pm.size()) == 0;
+    };
 
-        // Reference committed image: the commit record is not the
-        // FASE's last persist (tombstones trail it), so a crash can
-        // land *past* the durable commit point. Recovery then keeps
-        // the new state -- the "all" of all-or-nothing -- and the
-        // oracle must recognise it. Run the op once uninterrupted to
-        // learn what that state looks like, then rewind. In reorder
-        // mode the same run also records the operation's dirty-block
-        // set: recovery only ever writes the logged data blocks and
-        // the log region, both of which this run touches, so every
-        // trial state of this op agrees with `pre` outside it.
-        std::set<Addr> dirtySet;
-        std::vector<runtime::PersistentMemory::Pending> refStream;
-        inj.clearPlans();
-        if (opts.reorderings)
-            inj.addPlan(std::make_unique<RecordingPlan>(pm, refStream,
-                                                        dirtySet));
-        rt.runFase(0,
-                   [&](runtime::Transaction &tx) { wl.runOp(tx, op); });
+    // Dirty-restricted oracle compares for reorder trials: the
+    // images agree with the reference outside the dirty blocks
+    // by construction, so block-limited equality is exact and
+    // orders of magnitude cheaper than whole-image memcmp.
+    auto committedDurablyDirty = [&] {
         pm.persistAll();
-        const std::vector<std::uint8_t> post_image(
-            pm.persistedImage(), pm.persistedImage() + pm.size());
+        for (Addr b : dirty) {
+            if (std::memcmp(pm.persistedImage() + b,
+                            post_image.data() + b, blockBytes) != 0)
+                return false;
+        }
+        return true;
+    };
+    auto convergedDirty = [&] {
+        pm.persistAll();
+        for (Addr b : dirty) {
+            if (std::memcmp(pm.volatileImage() + b,
+                            pm.persistedImage() + b,
+                            blockBytes) != 0)
+                return false;
+        }
+        return true;
+    };
+
+    // Reduction (c)'s digest: CRC-32C over the dirty blocks of
+    // the persisted image, two independent seeds folded into 64
+    // bits (one 32-bit pass would silently merge distinct states
+    // at birthday-collision rates the state counts here reach).
+    auto digestDirty = [&] {
+        std::uint32_t a = 0;
+        std::uint32_t b = 0xdecafbad;
+        for (Addr blk : dirty) {
+            a = crc32c(pm.persistedImage() + blk, blockBytes, a);
+            b = crc32c(pm.persistedImage() + blk, blockBytes, b);
+        }
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+
+    // Digest seen-set, scoped to this operation: two crash
+    // states with equal durable images recover identically, so
+    // the second is counted as deduped and skipped.
+    std::set<std::uint64_t> seenDigests;
+
+    bool committed = false;
+    for (std::size_t k = 0; !committed; ++k) {
+        if (k >= maxPrefixesPerOp) {
+            fail(frag, op, k, "prefix enumeration did not converge");
+            break;
+        }
+        // Rewind to the pre-operation state. recoverAll() then
+        // resynchronises the undo logs' volatile cursors with the
+        // restored durable image; its writes drain before the
+        // plan is armed so the plan's persist count matches the
+        // (empty) in-flight queue.
         pm.restore(pre);
         rt.recoverAll();
         pm.persistAll();
         inj.clearPlans();
-        const std::vector<Addr> dirty(dirtySet.begin(), dirtySet.end());
+        inj.addPlan(std::make_unique<PowerCutPlan>(k));
 
-        auto committedDurably = [&] {
-            pm.persistAll();
-            return std::memcmp(pm.persistedImage(), post_image.data(),
-                               pm.size()) == 0;
-        };
+        bool crashed = false;
+        std::size_t frontier_words = 0;
+        try {
+            rt.runFase(0, [&](runtime::Transaction &tx) {
+                wl.runOp(tx, op);
+            });
+            committed = true;
+        } catch (const PowerFailure &pf) {
+            crashed = true;
+            frontier_words = pf.frontierWords;
+        }
+        // Disarm before recovery: the plan must not count (or
+        // crash on) recovery's own persist stream.
+        inj.clearPlans();
 
-        // Dirty-restricted oracle compares for reorder trials: the
-        // images agree with the reference outside the dirty blocks
-        // by construction, so block-limited equality is exact and
-        // orders of magnitude cheaper than whole-image memcmp.
-        auto committedDurablyDirty = [&] {
-            pm.persistAll();
-            for (Addr b : dirty) {
-                if (std::memcmp(pm.persistedImage() + b,
-                                post_image.data() + b, blockBytes) != 0)
-                    return false;
+        if (crashed) {
+            ++frag.crashPoints;
+            // Reorder mode: the speculation window a cut at
+            // prefix k interrupted -- reference-stream entries
+            // [k, k+depth) -- and the post-crash (pre-recovery)
+            // image, taken before the prefix trial's recovery
+            // mutates the state.
+            std::vector<runtime::PersistentMemory::Pending> window;
+            runtime::PersistentMemory::Snapshot crashSnap;
+            if (opts.reorderings && k < refStream.size()) {
+                const std::size_t end = std::min<std::size_t>(
+                    k + windowDepth, refStream.size());
+                window.assign(refStream.begin() + k,
+                              refStream.begin() + end);
+                crashSnap = pm.snapshot();
             }
-            return true;
-        };
-        auto convergedDirty = [&] {
-            pm.persistAll();
-            for (Addr b : dirty) {
-                if (std::memcmp(pm.volatileImage() + b,
-                                pm.persistedImage() + b,
-                                blockBytes) != 0)
-                    return false;
-            }
-            return true;
-        };
-
-        // Reduction (c)'s digest: CRC-32C over the dirty blocks of
-        // the persisted image, two independent seeds folded into 64
-        // bits (one 32-bit pass would silently merge distinct states
-        // at birthday-collision rates the state counts here reach).
-        auto digestDirty = [&] {
-            std::uint32_t a = 0;
-            std::uint32_t b = 0xdecafbad;
-            for (Addr blk : dirty) {
-                a = crc32c(pm.persistedImage() + blk, blockBytes, a);
-                b = crc32c(pm.persistedImage() + blk, blockBytes, b);
-            }
-            return (static_cast<std::uint64_t>(a) << 32) | b;
-        };
-
-        // Digest seen-set, scoped to this operation: two crash
-        // states with equal durable images recover identically, so
-        // the second is counted as deduped and skipped.
-        std::set<std::uint64_t> seenDigests;
-
-        bool committed = false;
-        for (std::size_t k = 0; !committed; ++k) {
-            if (k >= maxPrefixesPerOp) {
-                fail(op, k, "prefix enumeration did not converge");
-                break;
-            }
-            // Rewind to the pre-operation state. recoverAll() then
-            // resynchronises the undo logs' volatile cursors with the
-            // restored durable image; its writes drain before the
-            // plan is armed so the plan's persist count matches the
-            // (empty) in-flight queue.
-            pm.restore(pre);
-            rt.recoverAll();
-            pm.persistAll();
-            inj.clearPlans();
-            inj.addPlan(std::make_unique<PowerCutPlan>(k));
-
-            bool crashed = false;
-            std::size_t frontier_words = 0;
             try {
-                rt.runFase(0, [&](runtime::Transaction &tx) {
-                    wl.runOp(tx, op);
-                });
-                committed = true;
-            } catch (const PowerFailure &pf) {
-                crashed = true;
-                frontier_words = pf.frontierWords;
+                rt.recoverAll();
+            } catch (const runtime::UnrecoverableCorruption &) {
+                // A clean prefix contains no corruption by
+                // construction; refusing to recover it is a
+                // fail-safe false positive.
+                ++frag.corruptionReported;
+                fail(frag, op, k, "clean-prefix crash reported "
+                                  "unrecoverable corruption");
+                continue;
             }
-            // Disarm before recovery: the plan must not count (or
-            // crash on) recovery's own persist stream.
-            inj.clearPlans();
+            if (!wl.checkInvariants())
+                fail(frag, op, k,
+                     "invariants violated after recovery");
+            if (!wl.matchesModel() && !committedDurably())
+                fail(frag, op, k,
+                     "recovered state is neither the pre- "
+                     "nor the post-operation state "
+                     "(atomicity)");
+            if (!converged())
+                fail(frag, op, k,
+                     "volatile/persisted images diverge "
+                     "after recovery");
 
-            if (crashed) {
-                ++res.crashPoints;
-                // Reorder mode: the speculation window a cut at
-                // prefix k interrupted -- reference-stream entries
-                // [k, k+depth) -- and the post-crash (pre-recovery)
-                // image, taken before the prefix trial's recovery
-                // mutates the state.
-                std::vector<runtime::PersistentMemory::Pending> window;
-                runtime::PersistentMemory::Snapshot crashSnap;
-                if (opts.reorderings && k < refStream.size()) {
-                    const std::size_t end = std::min<std::size_t>(
-                        k + windowDepth, refStream.size());
-                    window.assign(refStream.begin() + k,
-                                  refStream.begin() + end);
-                    crashSnap = pm.snapshot();
+            if (!window.empty()) {
+                ReorderHooks hooks;
+                hooks.rewind = [&] {
+                    pm.restoreBlocks(crashSnap, dirty);
+                };
+                hooks.isNoop =
+                    [&](const runtime::PersistentMemory::Pending &p) {
+                        return std::memcmp(pm.persistedImage() +
+                                               p.addr,
+                                           p.bytes.data(),
+                                           p.bytes.size()) == 0;
+                    };
+                hooks.apply =
+                    [&](const runtime::PersistentMemory::Pending &p) {
+                        pm.overlayDurable(p.addr, p.bytes.data(),
+                                          p.bytes.size());
+                    };
+                hooks.digest = digestDirty;
+                hooks.check = [&](std::uint64_t mask,
+                                  std::size_t applied) {
+                    (void)applied;
+                    const std::string ctx =
+                        " (reorder mask=" + hexMask(mask) + ")";
+                    try {
+                        rt.recoverAll();
+                    } catch (const runtime::
+                                 UnrecoverableCorruption &) {
+                        // The media is clean here: a reordered
+                        // window is exactly what the barrier
+                        // discipline must tolerate, so refusing
+                        // it means the structure published a
+                        // validity marker its persists did not
+                        // back -- the WAW-inversion bug class.
+                        ++frag.corruptionReported;
+                        fail(frag, op, k,
+                             ("in-window persist reordering "
+                              "reported unrecoverable corruption" +
+                              ctx)
+                                 .c_str());
+                        return;
+                    }
+                    if (!wl.checkInvariants())
+                        fail(frag, op, k,
+                             ("invariants violated after "
+                              "reordered-crash recovery" + ctx)
+                                 .c_str());
+                    if (!wl.matchesModel() &&
+                        !committedDurablyDirty())
+                        fail(frag, op, k,
+                             ("recovered state is neither the "
+                              "pre- nor the post-operation state "
+                              "(atomicity under persist "
+                              "reordering)" + ctx)
+                                 .c_str());
+                    if (!convergedDirty())
+                        fail(frag, op, k,
+                             ("volatile/persisted images diverge "
+                              "after reordered-crash recovery" +
+                              ctx)
+                                 .c_str());
+                };
+                const ReorderCounts rc = exploreReorderWindow(
+                    window, rcfg, hooks, seenDigests);
+                frag.reorderWindows += rc.windows;
+                frag.naiveStates += rc.naiveStates;
+                frag.reorderStatesExplored += rc.statesExplored;
+                frag.reorderStatesDeduped += rc.statesDeduped;
+                frag.elidedPersists += rc.elidedPersists;
+                frag.orderingsCollapsed += rc.orderingsCollapsed;
+                // Leave a clean slate for the next k: the last
+                // explored state's recovery is still in the
+                // images.
+                pm.restoreBlocks(crashSnap, dirty);
+            }
+
+            if (!opts.tornWrites || frontier_words < 2)
+                continue;
+
+            // Torn-frontier trials: same crash point k, but a
+            // word subset of persist k+1 lands too. The oracle
+            // is no-silent-corruption: either recovery restores
+            // the pre-operation state, or it refuses with an
+            // explicit report. Under this repo's checksummed
+            // undo log every torn frontier is detected and
+            // discarded, so recovery is expected to succeed.
+            for (std::uint64_t mask :
+                 subsetMasks(frontier_words, opts.maxTornSubsets,
+                             opts.enumSeed, tornExhaustiveBits)) {
+                pm.restore(pre);
+                rt.recoverAll();
+                pm.persistAll();
+                inj.clearPlans();
+                inj.addPlan(
+                    std::make_unique<TornWritePlan>(k, mask));
+
+                bool cut = false;
+                try {
+                    rt.runFase(0, [&](runtime::Transaction &tx) {
+                        wl.runOp(tx, op);
+                    });
+                } catch (const PowerFailure &) {
+                    cut = true;
                 }
+                inj.clearPlans();
+                if (!cut) {
+                    fail(frag, op, k,
+                         ("torn plan (mask=" + hexMask(mask) +
+                          ") did not fire on a re-run that "
+                          "crashed before")
+                             .c_str());
+                    continue;
+                }
+                ++frag.tornTrials;
+
                 try {
                     rt.recoverAll();
                 } catch (const runtime::UnrecoverableCorruption &) {
-                    // A clean prefix contains no corruption by
-                    // construction; refusing to recover it is a
-                    // fail-safe false positive.
-                    ++res.corruptionReported;
-                    fail(op, k, "clean-prefix crash reported "
-                                "unrecoverable corruption");
+                    // Explicit refusal: the no-silent-corruption
+                    // oracle is satisfied; nothing was replayed.
+                    ++frag.corruptionReported;
                     continue;
                 }
+                const std::string ctx =
+                    " (torn mask=" + hexMask(mask) + ")";
                 if (!wl.checkInvariants())
-                    fail(op, k, "invariants violated after recovery");
+                    fail(frag, op, k,
+                         ("invariants violated after torn-write "
+                          "recovery" + ctx).c_str());
                 if (!wl.matchesModel() && !committedDurably())
-                    fail(op, k, "recovered state is neither the pre- "
-                                "nor the post-operation state "
-                                "(atomicity)");
+                    fail(frag, op, k,
+                         ("silent corruption: torn-write recovery "
+                          "returned success but the state is "
+                          "neither the pre- nor the post-operation "
+                          "state" + ctx).c_str());
                 if (!converged())
-                    fail(op, k, "volatile/persisted images diverge "
-                                "after recovery");
-
-                if (!window.empty()) {
-                    ReorderHooks hooks;
-                    hooks.rewind = [&] {
-                        pm.restoreBlocks(crashSnap, dirty);
-                    };
-                    hooks.isNoop =
-                        [&](const runtime::PersistentMemory::Pending
-                                &p) {
-                            return std::memcmp(pm.persistedImage() +
-                                                   p.addr,
-                                               p.bytes.data(),
-                                               p.bytes.size()) == 0;
-                        };
-                    hooks.apply =
-                        [&](const runtime::PersistentMemory::Pending
-                                &p) {
-                            pm.overlayDurable(p.addr, p.bytes.data(),
-                                              p.bytes.size());
-                        };
-                    hooks.digest = digestDirty;
-                    hooks.check = [&](std::uint64_t mask,
-                                      std::size_t applied) {
-                        (void)applied;
-                        const std::string ctx =
-                            " (reorder mask=" + hexMask(mask) + ")";
-                        try {
-                            rt.recoverAll();
-                        } catch (const runtime::
-                                     UnrecoverableCorruption &) {
-                            // The media is clean here: a reordered
-                            // window is exactly what the barrier
-                            // discipline must tolerate, so refusing
-                            // it means the structure published a
-                            // validity marker its persists did not
-                            // back -- the WAW-inversion bug class.
-                            ++res.corruptionReported;
-                            fail(op, k,
-                                 ("in-window persist reordering "
-                                  "reported unrecoverable corruption" +
-                                  ctx)
-                                     .c_str());
-                            return;
-                        }
-                        if (!wl.checkInvariants())
-                            fail(op, k,
-                                 ("invariants violated after "
-                                  "reordered-crash recovery" + ctx)
-                                     .c_str());
-                        if (!wl.matchesModel() &&
-                            !committedDurablyDirty())
-                            fail(op, k,
-                                 ("recovered state is neither the "
-                                  "pre- nor the post-operation state "
-                                  "(atomicity under persist "
-                                  "reordering)" + ctx)
-                                     .c_str());
-                        if (!convergedDirty())
-                            fail(op, k,
-                                 ("volatile/persisted images diverge "
-                                  "after reordered-crash recovery" +
-                                  ctx)
-                                     .c_str());
-                    };
-                    const ReorderCounts rc = exploreReorderWindow(
-                        window, rcfg, hooks, seenDigests);
-                    res.reorderWindows += rc.windows;
-                    res.naiveStates += rc.naiveStates;
-                    res.reorderStatesExplored += rc.statesExplored;
-                    res.reorderStatesDeduped += rc.statesDeduped;
-                    res.elidedPersists += rc.elidedPersists;
-                    res.orderingsCollapsed += rc.orderingsCollapsed;
-                    // Leave a clean slate for the next k: the last
-                    // explored state's recovery is still in the
-                    // images.
-                    pm.restoreBlocks(crashSnap, dirty);
-                }
-
-                if (!opts.tornWrites || frontier_words < 2)
-                    continue;
-
-                // Torn-frontier trials: same crash point k, but a
-                // word subset of persist k+1 lands too. The oracle
-                // is no-silent-corruption: either recovery restores
-                // the pre-operation state, or it refuses with an
-                // explicit report. Under this repo's checksummed
-                // undo log every torn frontier is detected and
-                // discarded, so recovery is expected to succeed.
-                for (std::uint64_t mask :
-                     subsetMasks(frontier_words, opts.maxTornSubsets,
-                                 opts.enumSeed, tornExhaustiveBits)) {
-                    pm.restore(pre);
-                    rt.recoverAll();
-                    pm.persistAll();
-                    inj.clearPlans();
-                    inj.addPlan(
-                        std::make_unique<TornWritePlan>(k, mask));
-
-                    bool cut = false;
-                    try {
-                        rt.runFase(0, [&](runtime::Transaction &tx) {
-                            wl.runOp(tx, op);
-                        });
-                    } catch (const PowerFailure &) {
-                        cut = true;
-                    }
-                    inj.clearPlans();
-                    if (!cut) {
-                        fail(op, k,
-                             ("torn plan (mask=" + hexMask(mask) +
-                              ") did not fire on a re-run that "
-                              "crashed before")
-                                 .c_str());
-                        continue;
-                    }
-                    ++res.tornTrials;
-
-                    try {
-                        rt.recoverAll();
-                    } catch (const runtime::UnrecoverableCorruption &) {
-                        // Explicit refusal: the no-silent-corruption
-                        // oracle is satisfied; nothing was replayed.
-                        ++res.corruptionReported;
-                        continue;
-                    }
-                    const std::string ctx =
-                        " (torn mask=" + hexMask(mask) + ")";
-                    if (!wl.checkInvariants())
-                        fail(op, k,
-                             ("invariants violated after torn-write "
-                              "recovery" + ctx).c_str());
-                    if (!wl.matchesModel() && !committedDurably())
-                        fail(op, k,
-                             ("silent corruption: torn-write recovery "
-                              "returned success but the state is "
-                              "neither the pre- nor the post-operation "
-                              "state" + ctx).c_str());
-                    if (!converged())
-                        fail(op, k,
-                             ("volatile/persisted images diverge after "
-                              "torn-write recovery" + ctx).c_str());
-                }
+                    fail(frag, op, k,
+                         ("volatile/persisted images diverge after "
+                          "torn-write recovery" + ctx).c_str());
             }
-        }
-
-        if (committed) {
-            wl.applyToModel(op);
-            if (!wl.checkInvariants())
-                fail(op, res.crashPoints, "invariants violated after commit");
-            if (!wl.matchesModel())
-                fail(op, res.crashPoints,
-                     "committed state does not match the model");
-            if (!converged())
-                fail(op, res.crashPoints,
-                     "volatile/persisted images diverge after commit");
         }
     }
 
+    if (committed) {
+        wl.applyToModel(op);
+        if (!wl.checkInvariants())
+            fail(frag, op, frag.crashPoints,
+                 "invariants violated after commit");
+        if (!wl.matchesModel())
+            fail(frag, op, frag.crashPoints,
+                 "committed state does not match the model");
+        if (!converged())
+            fail(frag, op, frag.crashPoints,
+                 "volatile/persisted images diverge after commit");
+    }
+}
+
+/** Fold per-op fragments (op order) into one ExploreResult with the
+ *  global message cap re-applied; deterministic in the fragment
+ *  contents alone. */
+ExploreResult
+mergeFragments(std::string workload,
+               std::vector<ExploreResult> frags,
+               std::size_t maxMessages)
+{
+    ExploreResult res;
+    res.workload = std::move(workload);
+    for (ExploreResult &f : frags) {
+        res.ops += f.ops;
+        res.crashPoints += f.crashPoints;
+        res.tornTrials += f.tornTrials;
+        res.corruptionReported += f.corruptionReported;
+        res.failures += f.failures;
+        res.messagesSuppressed += f.messagesSuppressed;
+        for (std::string &m : f.messages) {
+            if (res.messages.size() < maxMessages)
+                res.messages.push_back(std::move(m));
+            else
+                ++res.messagesSuppressed;
+        }
+        res.reorderWindows += f.reorderWindows;
+        res.naiveStates += f.naiveStates;
+        res.reorderStatesExplored += f.reorderStatesExplored;
+        res.reorderStatesDeduped += f.reorderStatesDeduped;
+        res.elidedPersists += f.elidedPersists;
+        res.orderingsCollapsed += f.orderingsCollapsed;
+    }
     return res;
+}
+
+} // namespace
+
+ExploreResult
+exploreCrashPoints(CrashWorkload &wl, const ExploreOptions &opts)
+{
+    OpExplorer ex(wl, opts);
+    std::vector<ExploreResult> frags(wl.numOps());
+    for (std::size_t op = 0; op < frags.size(); ++op)
+        ex.exploreOp(op, frags[op]);
+    return mergeFragments(wl.name(), std::move(frags),
+                          opts.maxMessages);
+}
+
+ExploreResult
+exploreCrashPointsParallel(const WorkloadFactory &factory,
+                           const ExploreOptions &opts,
+                           unsigned threads)
+{
+    const auto probe = factory();
+    fatal_if(!probe, "workload factory returned nothing");
+    const std::size_t n = probe->numOps();
+    const std::string name = probe->name();
+
+    const sim::DomainPool pool(threads);
+    if (pool.threads() <= 1 || n <= 1)
+        return exploreCrashPoints(*probe, opts);
+
+    // One domain per operation: a private workload + PM replica,
+    // fast-forwarded through [0, op) on the exact committed-trial
+    // path (see OpExplorer's state-equivalence contract), then
+    // explored. Fragments land in per-op slots; the merge below is
+    // op-ordered, so the result is thread-count invariant.
+    std::vector<ExploreResult> frags(n);
+    pool.run(n, [&](std::size_t op) {
+        auto wl = factory();
+        OpExplorer ex(*wl, opts);
+        for (std::size_t j = 0; j < op; ++j)
+            ex.commitOp(j);
+        ex.exploreOp(op, frags[op]);
+    });
+    return mergeFragments(name, std::move(frags), opts.maxMessages);
 }
 
 } // namespace pmemspec::faultinject

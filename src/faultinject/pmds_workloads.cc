@@ -677,4 +677,30 @@ makeSpecOrderingBugWorkload(bool ordering_tags)
     return std::make_unique<SpecOrderingWorkload>(ordering_tags);
 }
 
+WorkloadFactory
+workloadFactory(const std::string &name)
+{
+    if (name == "pm_array")
+        return [] { return std::make_unique<ArrayWorkload>(); };
+    if (name == "pm_queue")
+        return [] { return std::make_unique<QueueWorkload>(); };
+    if (name == "pm_hashmap")
+        return [] { return std::make_unique<HashmapWorkload>(); };
+    if (name == "pm_rbtree")
+        return [] { return std::make_unique<RbTreeWorkload>(); };
+    if (name == "kv_store")
+        return [] { return std::make_unique<KvWorkload>(); };
+    if (name == "tatp")
+        return [] { return std::make_unique<TatpWorkload>(); };
+    if (name == "tpcc")
+        return [] { return std::make_unique<TpccWorkload>(); };
+    if (name == "vacation")
+        return [] { return std::make_unique<VacationWorkload>(); };
+    if (name == "ordered_undo")
+        return [] { return makeSpecOrderingBugWorkload(true); };
+    if (name == "misordered_undo")
+        return [] { return makeSpecOrderingBugWorkload(false); };
+    return {};
+}
+
 } // namespace pmemspec::faultinject

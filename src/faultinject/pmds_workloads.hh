@@ -14,6 +14,7 @@
 #define PMEMSPEC_FAULTINJECT_PMDS_WORKLOADS_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "faultinject/crash_explorer.hh"
@@ -49,6 +50,14 @@ std::vector<std::unique_ptr<CrashWorkload>> makeAllWorkloads();
  */
 std::unique_ptr<CrashWorkload>
 makeSpecOrderingBugWorkload(bool ordering_tags);
+
+/**
+ * Factory for fresh instances of the named workload (every name
+ * makeAllWorkloads() and the seeded-bug twins answer to), the form
+ * exploreCrashPointsParallel() needs to build per-op replicas.
+ * Returns an empty function for an unknown name.
+ */
+WorkloadFactory workloadFactory(const std::string &name);
 
 } // namespace pmemspec::faultinject
 

@@ -4,38 +4,40 @@
  * failure domains, with an online fault scheduler and a consistency
  * oracle.
  *
- * One Service::run() is a single-host-threaded discrete-event
- * simulation (sim::EventQueue over simulated ticks): client arrivals
- * are open-loop (a new op every interArrival ticks per client,
- * regardless of completions), keys are scrambled-zipfian, shards
- * serve their queues FIFO, and the scheduled FaultEvents fire into
- * individual shards mid-flight. Client-side failures retry on the
- * shared BoundedBackoff schedule under a per-op deadline; a shard
- * that trips its abort budget opens a load-shed window; a shard
- * whose recovery cannot vouch for the image degrades to read-only
- * while the rest of the service keeps serving.
+ * One Service::run() is a discrete-event simulation over simulated
+ * ticks: client arrivals are open-loop (a new op every interArrival
+ * ticks per client, regardless of completions), keys are
+ * scrambled-zipfian, shards serve their queues FIFO, and the
+ * scheduled FaultEvents fire into individual shards mid-flight.
+ * Client-side failures retry on the shared BoundedBackoff schedule
+ * under a per-op deadline; a shard that trips its abort budget opens
+ * a load-shed window; a shard whose recovery cannot vouch for the
+ * image degrades to read-only while the rest of the service keeps
+ * serving.
  *
- * Everything is deterministic in (config, design): the same run
- * serializes to the same JSON bytes at any sweep parallelism.
+ * Execution is domain-parallel (DESIGN.md section 12): the
+ * coordinator pre-generates every client's arrival/op stream
+ * serially (client RNG is pure in (seed, client)), routes it by
+ * shardOf(key) into per-shard op tapes, then runs one fully
+ * self-contained domain per shard -- its own sim::EventQueue, Shard
+ * (PersistentMemory + FaseRuntime + FaultInjector), shadow map and
+ * fault schedule -- across cfg.simThreads host threads. Results are
+ * stable-merged on simulated keys (tick, config order, shard), so
+ * everything stays deterministic in (config, design): the same run
+ * serializes to the same JSON bytes at any --sim-threads value.
  */
 
 #ifndef PMEMSPEC_SERVICE_SERVICE_HH
 #define PMEMSPEC_SERVICE_SERVICE_HH
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "common/backoff.hh"
 #include "common/json.hh"
-#include "common/rng.hh"
 #include "service/cost_model.hh"
 #include "service/service_config.hh"
 #include "service/shard.hh"
-#include "service/zipfian.hh"
-#include "sim/event_queue.hh"
 
 namespace pmemspec::service
 {
@@ -103,7 +105,9 @@ struct ServiceResult
     std::uint64_t degradedRejects = 0;
     std::uint64_t quarantined = 0;
 
-    /** Successful-op latencies in ticks, sorted (percentile base). */
+    /** Successful-op latencies in ticks, sorted once at merge time
+     *  (percentile base; latencyQuantile asserts the order in debug
+     *  builds). */
     std::vector<Tick> latencies;
     Tick lastCompletion = 0;
 
@@ -136,56 +140,10 @@ class Service
     const ServiceConfig &config() const { return cfg; }
 
   private:
-    struct PendingOp
-    {
-        std::uint64_t id = 0;
-        unsigned client = 0;
-        OpKind kind = OpKind::Read;
-        std::uint64_t key = 0;
-        std::uint8_t fill = 0;
-        Tick firstSubmit = 0;
-        unsigned attempts = 0;
-        BoundedBackoff backoff{1, 1};
-    };
-
-    unsigned shardOf(std::uint64_t key) const;
-    std::uint8_t fillFor(std::uint64_t key, std::uint64_t salt);
-
-    void scheduleClient(unsigned client, Tick at);
-    void submit(PendingOp op, Tick at);
-    void complete(PendingOp &op, Tick at, bool ok);
-    void retryOrFail(PendingOp op, Tick failedAt);
-
-    void onFaultEvent(const FaultEvent &ev);
-    void noteTransition(Tick at, unsigned shard,
-                        const std::string &msg);
-    /** Match a manifested fault to its pending FaultOutcome. */
-    FaultOutcome *pendingFault(unsigned shard, ServiceFault kind);
-
-    /** Online value check of a successful read. */
-    void checkRead(const PendingOp &op, const Shard::OpResult &res);
-    /** Resolve an all-or-nothing crash ambiguity for a write op. */
-    void resolveCrashAmbiguity(const PendingOp &op, unsigned s);
-    /** Full shadow-vs-store pass over one shard. */
-    void verifyShard(unsigned s);
-
     ServiceConfig cfg;
     CostModel cost;
-    sim::EventQueue eq;
-    std::vector<std::unique_ptr<Shard>> shards;
-    /** Committed key -> fill byte (the consistency shadow). */
-    std::map<std::uint64_t, std::uint8_t> shadow;
-
-    std::vector<Rng> clientRng;
-    std::unique_ptr<ZipfianGenerator> zipf;
-
-    std::vector<Tick> freeAt;    ///< shard busy-until
-    std::vector<Tick> shedUntil; ///< load-shed window end
-    std::vector<std::uint64_t> insertSeq; ///< per-shard insert keys
-    std::uint64_t keyBase = 0;   ///< first insert key (rounded)
 
     ServiceResult res;
-    std::uint64_t opSeq = 0;
     bool ran = false;
 };
 

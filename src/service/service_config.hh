@@ -127,6 +127,12 @@ struct ServiceConfig
     std::uint64_t seed = 1;
     persistency::Design design = persistency::Design::PmemSpec;
 
+    /** Host threads for the domain-parallel run (one independent
+     *  simulation domain per shard; see DESIGN.md section 12).
+     *  0 = hardware concurrency. The result is byte-identical for
+     *  any value -- this knob trades wall-clock only. */
+    unsigned simThreads = 1;
+
     /** The fault schedule (may be empty for a clean baseline run). */
     std::vector<FaultEvent> faults;
 

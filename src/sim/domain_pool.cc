@@ -1,0 +1,72 @@
+#include "domain_pool.hh"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace pmemspec::sim
+{
+
+DomainPool::DomainPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    nthreads = std::clamp(threads, 1u, maxThreads);
+}
+
+void
+DomainPool::run(std::size_t n,
+                const std::function<void(std::size_t)> &task,
+                std::vector<std::string> *errors) const
+{
+    std::vector<std::string> local_errors(n);
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                task(i);
+            } catch (const std::exception &e) {
+                // Each slot is written by exactly one worker, so the
+                // pool keeps draining the remaining domains.
+                local_errors[i] = e.what();
+                if (local_errors[i].empty())
+                    local_errors[i] = "unknown std::exception";
+            } catch (...) {
+                local_errors[i] = "unknown exception";
+            }
+        }
+    };
+
+    const auto use = static_cast<unsigned>(
+        std::min<std::size_t>(nthreads, n));
+    if (use <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(use);
+        for (unsigned t = 0; t < use; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    if (errors) {
+        *errors = std::move(local_errors);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!local_errors[i].empty())
+            throw std::runtime_error("domain " + std::to_string(i) +
+                                     ": " + local_errors[i]);
+    }
+}
+
+} // namespace pmemspec::sim

@@ -104,3 +104,35 @@ TEST(Rng, NoShortCycles)
         seen.insert(r.next());
     EXPECT_EQ(seen.size(), 10000u);
 }
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a = Rng::split(42, 7);
+    Rng b = Rng::split(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitStreamsAreDistinct)
+{
+    // The old seed * GOLDEN + stream derivation mapped distinct
+    // (seed, stream) pairs to identical streams (e.g. seed s with
+    // stream c and seed s+1 with stream c-GOLDEN). split() mixes
+    // both inputs through the splitmix64 finalizer -- a bijection --
+    // so for a fixed seed every stream id yields a distinct state,
+    // and the first draws should all differ too.
+    std::set<std::uint64_t> first;
+    for (std::uint64_t c = 0; c < 1024; ++c)
+        first.insert(Rng::split(1, c).next());
+    EXPECT_EQ(first.size(), 1024u);
+}
+
+TEST(Rng, SplitSeedsDiverge)
+{
+    // Same stream id under different seeds must not collide either
+    // (the cross term the multiplicative derivation got wrong).
+    std::set<std::uint64_t> first;
+    for (std::uint64_t s = 0; s < 1024; ++s)
+        first.insert(Rng::split(s, 3).next());
+    EXPECT_EQ(first.size(), 1024u);
+}

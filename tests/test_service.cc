@@ -209,6 +209,54 @@ TEST(Service, ShardApplyHandlesDegradedReads)
     EXPECT_EQ(wr.status, Shard::OpStatus::RejectedDegraded);
 }
 
+TEST(Service, SimThreadsIsByteInvariantFaultFree)
+{
+    // The domain-parallel determinism contract (DESIGN.md section
+    // 12): the merged result -- down to the JSON bytes -- must not
+    // depend on the host thread count.
+    ServiceConfig cfg = tinyConfig();
+    cfg.simThreads = 1;
+    const std::string seq =
+        Service(cfg).run().toJson(cfg.duration).dump(2);
+    for (unsigned threads : {2u, 3u, 4u}) {
+        cfg.simThreads = threads;
+        EXPECT_EQ(Service(cfg).run().toJson(cfg.duration).dump(2),
+                  seq)
+            << "simThreads=" << threads;
+    }
+}
+
+TEST(Service, SimThreadsIsByteInvariantUnderFaults)
+{
+    // Same contract with every fault kind in flight (4 shards so
+    // each fault kind lands on its own domain) and PMEM-Spec so the
+    // storm actually sheds.
+    ServiceConfig cfg = tinyConfig();
+    cfg.shards = 4;
+    cfg.abortBudget = 8;
+    cfg.faults = {
+        {cfg.duration / 4, 0, ServiceFault::PowerCut, 0, 0},
+        {cfg.duration / 3, 1, ServiceFault::MediaPoison, 0, 0},
+        {cfg.duration / 2, 2, ServiceFault::MisspecStorm, 0, 0},
+        {cfg.duration / 2, 3, ServiceFault::LogPoison, 0, 0},
+    };
+    cfg.simThreads = 1;
+    const std::string seq =
+        Service(cfg).run().toJson(cfg.duration).dump(2);
+    cfg.simThreads = 4;
+    EXPECT_EQ(Service(cfg).run().toJson(cfg.duration).dump(2), seq);
+}
+
+TEST(Service, SimThreadsZeroMeansHardwareConcurrency)
+{
+    ServiceConfig cfg = tinyConfig();
+    cfg.simThreads = 1;
+    const std::string seq =
+        Service(cfg).run().toJson(cfg.duration).dump(2);
+    cfg.simThreads = 0;
+    EXPECT_EQ(Service(cfg).run().toJson(cfg.duration).dump(2), seq);
+}
+
 TEST(Service, JsonRowCarriesSlos)
 {
     ServiceConfig cfg = tinyConfig();

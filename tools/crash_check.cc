@@ -2,12 +2,16 @@
  * @file
  * crash_check: the crash-state model checker as a CLI.
  *
- * Runs exploreCrashPoints() over the named workloads (default: all
- * five persistent data structures plus the downsized TATP / TPC-C /
- * Vacation macro workloads) with persist-reordering exploration on,
- * prints the per-workload verdict with the reduction counters, and
- * optionally writes the pmemspec-bench-v1 JSON envelope for CI
- * gating and the BENCH_modelcheck.json trajectory.
+ * Runs the crash-state exploration over the named workloads
+ * (default: all five persistent data structures plus the downsized
+ * TATP / TPC-C / Vacation macro workloads) with persist-reordering
+ * exploration on, prints the per-workload verdict with the reduction
+ * counters, and optionally writes the pmemspec-bench-v1 JSON
+ * envelope for CI gating and the BENCH_modelcheck.json trajectory.
+ * `--sim-threads=N` fans the per-op exploration domains out over N
+ * host threads (exploreCrashPointsParallel); every counter, message
+ * and verdict is byte-identical to the sequential run -- only the
+ * wall_ms fields change.
  *
  * Exit status is the number of workloads with oracle violations
  * (capped at 125), so CI can gate directly on it.
@@ -36,6 +40,10 @@ struct Options
     bool prefixOnly = false;
     bool torn = false;
     bool listOnly = false;
+    /** Host threads over the per-op exploration domains; 1 =
+     *  sequential explorer, 0 = hardware concurrency. The verdict
+     *  and every counter are byte-identical for any value. */
+    unsigned simThreads = 1;
     std::string jsonPath;
     std::vector<std::string> workloads;
 };
@@ -58,6 +66,10 @@ usage()
         "                  the default timing model's window)\n"
         "  --prefix-only   disable reorder exploration (baseline)\n"
         "  --torn          also explore torn-write frontiers\n"
+        "  --sim-threads=N host threads over the per-op exploration\n"
+        "                  domains (default 1 = sequential, 0 = host\n"
+        "                  cores); all results are byte-identical for\n"
+        "                  any N -- only wall_ms changes\n"
         "  --json=PATH     write the pmemspec-bench-v1 envelope\n"
         "  --list          print the known workload names and exit\n"
         "\n"
@@ -79,6 +91,9 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.prefixOnly = true;
         } else if (a == "--torn") {
             opt.torn = true;
+        } else if (a.rfind("--sim-threads=", 0) == 0) {
+            opt.simThreads = static_cast<unsigned>(
+                std::strtoul(a.c_str() + 14, nullptr, 10));
         } else if (a.rfind("--json=", 0) == 0) {
             opt.jsonPath = a.substr(7);
         } else if (a == "--list") {
@@ -137,13 +152,12 @@ main(int argc, char **argv)
         opt.depth = static_cast<unsigned>(physical);
     }
 
-    std::vector<faultinject::CrashWorkload *> selected;
+    std::vector<std::string> selected;
     for (const auto &name : opt.workloads) {
-        faultinject::CrashWorkload *found = nullptr;
-        for (const auto &wl : all) {
+        bool found = false;
+        for (const auto &wl : all)
             if (name == wl->name())
-                found = wl.get();
-        }
+                found = true;
         if (!found) {
             std::fprintf(stderr,
                          "crash_check: unknown workload '%s' "
@@ -151,11 +165,11 @@ main(int argc, char **argv)
                          name.c_str());
             return 2;
         }
-        selected.push_back(found);
+        selected.push_back(name);
     }
     if (selected.empty()) {
         for (std::size_t i = 0; i < defaultCount; ++i)
-            selected.push_back(all[i].get());
+            selected.push_back(all[i]->name());
     }
 
     ExploreOptions eopt;
@@ -164,6 +178,9 @@ main(int argc, char **argv)
     eopt.tornWrites = opt.torn;
 
     core::ResultSink sink("crash_check");
+    // --sim-threads is a host fact, not a result; leaving it out of
+    // the meta keeps the JSON byte-identical across thread counts
+    // (only wall_ms / total_wall_ms vary).
     sink.setMeta("window_depth", Json(std::uint64_t{opt.depth}));
     sink.setMeta("reorderings", Json(!opt.prefixOnly));
     sink.setMeta("torn_writes", Json(opt.torn));
@@ -171,9 +188,11 @@ main(int argc, char **argv)
     int failing = 0;
     std::uint64_t totNaive = 0, totExplored = 0, totPruned = 0;
     double totalMs = 0;
-    for (auto *wl : selected) {
+    for (const auto &name : selected) {
+        const auto factory = faultinject::workloadFactory(name);
         const auto t0 = std::chrono::steady_clock::now();
-        const ExploreResult res = exploreCrashPoints(*wl, eopt);
+        const ExploreResult res = faultinject::
+            exploreCrashPointsParallel(factory, eopt, opt.simThreads);
         const double ms =
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0)
@@ -183,7 +202,7 @@ main(int argc, char **argv)
             "%-16s %s  ops=%zu crash_points=%zu windows=%llu "
             "naive=%llu explored=%llu deduped=%llu pruned=%llu "
             "elided=%llu reduction=%.1fx  %.0f ms\n",
-            wl->name(), res.passed() ? "PASS" : "FAIL", res.ops,
+            name.c_str(), res.passed() ? "PASS" : "FAIL", res.ops,
             res.crashPoints,
             static_cast<unsigned long long>(res.reorderWindows),
             static_cast<unsigned long long>(res.naiveStates),
@@ -200,7 +219,7 @@ main(int argc, char **argv)
         std::fflush(stdout);
 
         Json row = Json::object();
-        row.set("workload", Json(std::string(wl->name())));
+        row.set("workload", Json(name));
         row.set("passed", Json(res.passed()));
         row.set("failures", Json(std::uint64_t{res.failures}));
         row.set("ops", Json(std::uint64_t{res.ops}));
