@@ -24,6 +24,10 @@
  *                    raise it for a lossless checker-grade capture
  *   --flight-recorder  bounded always-on recorder, dumped on panics
  *                    and misspeculation traps
+ *   --metrics        sample time-series metrics + the per-FASE-site
+ *                    speculation profile into the JSON results
+ *   --metrics-interval-us N  sampling cadence in simulated
+ *                    microseconds (implies --metrics; default 100)
  *   --help           usage
  *
  * All flags also accept the --flag=value spelling.
@@ -44,6 +48,7 @@
 #include "common/trace.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
+#include "observe/metrics.hh"
 
 namespace pmemspec::bench
 {
@@ -70,6 +75,10 @@ struct BenchOptions
         persistency::allDesigns();
     /** Event tracing / flight recorder (off unless requested). */
     trace::Config trace;
+    /** Time-series metrics + FASE speculation profile (off unless
+     *  requested; off keeps bench JSON byte-identical to pre-metrics
+     *  output). */
+    observe::MetricsConfig metrics;
 
     static BenchOptions
     parse(int argc, char **argv,
@@ -138,6 +147,13 @@ struct BenchOptions
                     value("--trace-ring").c_str());
             } else if (arg == "--flight-recorder") {
                 opt.trace.flightRecorder = true;
+            } else if (arg == "--metrics") {
+                opt.metrics.sample = true;
+            } else if (arg == "--metrics-interval-us") {
+                opt.metrics.sample = true;
+                opt.metrics.interval = nsToTicks(1000.0) *
+                    parseCount(argv[0], "--metrics-interval-us",
+                               value("--metrics-interval-us").c_str());
             } else if (i == 1 && !arg.empty() &&
                        arg.find_first_not_of("0123456789") ==
                            std::string::npos) {
@@ -174,7 +190,8 @@ struct BenchOptions
             "[--designs A,B,...]\n"
             "       [--trace FLAGS] [--trace-out PATH] "
             "[--trace-ring N]\n"
-            "       [--flight-recorder] [--help]\n"
+            "       [--flight-recorder] [--metrics]\n"
+            "       [--metrics-interval-us N] [--help]\n"
             "\n"
             "  --ops N        FASEs per thread\n"
             "  --jobs N       parallel sweep workers (default: host "
@@ -199,7 +216,13 @@ struct BenchOptions
             "                 the offline checker needs a lossless "
             "(drop-free) trace\n"
             "  --flight-recorder  always-on bounded recorder, dumped "
-            "on faults\n",
+            "on faults\n"
+            "  --metrics      sample time-series metrics + the FASE "
+            "speculation\n"
+            "                 profile into the JSON results\n"
+            "  --metrics-interval-us N  sampling cadence in simulated "
+            "us\n"
+            "                 (implies --metrics; default 100)\n",
             prog);
         std::exit(code);
     }
@@ -359,6 +382,12 @@ finishJson(core::ResultSink &sink, const BenchOptions &opt)
         if (!opt.trace.outPath.empty())
             t.set("out", Json(opt.trace.outPath));
         sink.setMeta("trace", std::move(t));
+    }
+    if (opt.metrics.enabled()) {
+        Json m = Json::object();
+        m.set("interval_us",
+              Json(opt.metrics.interval / ticksPerNs / 1000));
+        sink.setMeta("metrics", std::move(m));
     }
     sink.writeFile(opt.jsonPath);
 }

@@ -20,6 +20,7 @@
 #include "service/service.hh"
 #include "mem/cache.hh"
 #include "mem/persist_path.hh"
+#include "observe/spec_profile.hh"
 #include "persistency/lowering.hh"
 #include "pmds/pm_rbtree.hh"
 #include "runtime/fase_runtime.hh"
@@ -162,6 +163,37 @@ BM_UndoLoggedFase(benchmark::State &state)
     }
 }
 BENCHMARK(BM_UndoLoggedFase);
+
+/**
+ * Cost of the FASE speculation profile on the undo-logged FASE hot
+ * path (the metrics-overhead CI gate): arg 0 = no profile attached,
+ * arg 1 = attached but disabled (the --metrics-off configuration the
+ * <1% gate compares against arg 0), arg 2 = recording.
+ */
+static void
+BM_FaseProfileOverhead(benchmark::State &state)
+{
+    runtime::PersistentMemory pm(1 << 24);
+    runtime::VirtualOs os;
+    runtime::FaseRuntime rt(pm, os, 1,
+                            runtime::RecoveryPolicy::Lazy, 1 << 20);
+    observe::SpecProfile prof;
+    prof.setEnabled(state.range(0) == 2);
+    unsigned site = 0;
+    if (state.range(0) != 0) {
+        site = prof.site("bench");
+        rt.setSpecProfile(&prof);
+    }
+    Addr a = pm.alloc(64 * 64, 64);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        rt.runFase(0, [&](runtime::Transaction &tx) {
+            tx.writeU64(a + (v % 64) * 64, v);
+        }, site);
+        ++v;
+    }
+}
+BENCHMARK(BM_FaseProfileOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 static void
 BM_RbTreeInsertErase(benchmark::State &state)

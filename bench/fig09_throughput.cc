@@ -19,6 +19,7 @@ main(int argc, char **argv)
     const auto opt = BenchOptions::parse(argc, argv);
     auto machine = core::defaultMachineConfig(8);
     machine.trace = opt.trace;
+    machine.metrics = opt.metrics;
     core::SweepRunner runner(opt.jobs);
     core::ResultSink sink("fig09_throughput");
 

@@ -36,6 +36,7 @@ main(int argc, char **argv)
                 .withMachine(core::defaultMachineConfig(8));
             p.cfg.machine.mem.specBufferEntries = size;
             p.cfg.machine.trace = opt.trace;
+            p.cfg.machine.metrics = opt.metrics;
             // The sweep needs LLC eviction pressure (the buffer only
             // monitors evicted blocks); our scaled-down footprints
             // are cache-resident, so shrink the LLC proportionally

@@ -52,6 +52,7 @@ main(int argc, char **argv)
                 // The ring-bus window scales with the idle latency.
                 p.cfg.machine.mem.speculationWindow = 0;
                 p.cfg.machine.trace = opt.trace;
+                p.cfg.machine.metrics = opt.metrics;
                 p.cfg.workload = params(8, opt.ops);
                 points.push_back(std::move(p));
             }

@@ -63,6 +63,7 @@ main(int argc, char **argv)
             .withMachine(core::defaultMachineConfig(8));
         p.cfg.workload = params(8, opt.ops);
         p.cfg.machine.trace = opt.trace;
+        p.cfg.machine.metrics = opt.metrics;
         points.push_back(std::move(p));
     }
     const auto results = runner.run(points);
@@ -104,6 +105,7 @@ main(int argc, char **argv)
         cfg.mem.speculationWindow = 4 * nsToTicks(lats[i]);
         cfg.trace = opt.trace;
         cfg.trace.label = "synthetic-lat" + std::to_string(lats[i]);
+        cfg.metrics = opt.metrics;
         cpu::Machine m(cfg);
         std::vector<cpu::Trace> traces{staleReadKernel()};
         m.setTraces(std::move(traces));

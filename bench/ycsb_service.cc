@@ -51,13 +51,18 @@ usageExit(const char *prog, int code)
         "       [--keys N] [--arrival-ns N] [--seed N]\n"
         "       [--faults SPEC[,SPEC...]|none] [--slo]\n"
         "       [--jobs N] [--sim-threads N] [--json PATH]\n"
-        "       [--designs A,B,...]\n"
+        "       [--designs A,B,...] [--metrics]\n"
+        "       [--metrics-interval-us N]\n"
         "\n"
         "  SPEC = kind:shard:at_us with kind one of\n"
         "         powercut, poison, logpoison, storm\n"
         "  --sim-threads N  host threads over the per-shard\n"
         "         simulation domains of one run (0 = host cores);\n"
         "         the output is byte-identical for any N\n"
+        "  --metrics  sample per-shard time-series metrics and the\n"
+        "         per-FASE-site speculation profile into the JSON\n"
+        "  --metrics-interval-us N  sampling cadence in simulated us\n"
+        "         (implies --metrics; default 500)\n"
         "  --slo  exit non-zero unless: zero oracle violations and\n"
         "         availability >= 0.99 on every shard without an\n"
         "         injected fault (per design)\n",
@@ -239,6 +244,13 @@ main(int argc, char **argv)
         } else if (arg == "--faults") {
             faults = parseFaults(argv[0], value("--faults"));
             explicitFaults = true;
+        } else if (arg == "--metrics") {
+            base.metrics = true;
+        } else if (arg == "--metrics-interval-us") {
+            base.metrics = true;
+            base.metricsInterval = nsToTicks(1000.0) *
+                parseCount(argv[0], "--metrics-interval-us",
+                           value("--metrics-interval-us"));
         } else if (arg == "--slo") {
             gateSlo = true;
         } else if (arg == "--jobs") {
@@ -348,6 +360,13 @@ main(int argc, char **argv)
     for (auto d : designs)
         dj.push(Json(persistency::designName(d)));
     sink.setMeta("designs", std::move(dj));
+    // Only when on: metrics-off envelopes stay bit-for-bit unchanged.
+    if (base.metrics) {
+        Json mj = Json::object();
+        mj.set("interval_us",
+               Json(base.metricsInterval / ticksPerNs / 1000));
+        sink.setMeta("metrics", std::move(mj));
+    }
     sink.writeFile(jsonPath);
 
     if (gateSlo && !sloOk) {

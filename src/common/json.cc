@@ -174,4 +174,287 @@ Json::dump(int indent) const
     return os.str();
 }
 
+namespace
+{
+
+/** Recursive-descent parser over the grammar the writer emits (which
+ *  is plain RFC 8259). Depth-limited to keep malicious inputs from
+ *  blowing the stack. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : s(text), err(err)
+    {
+    }
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue(0);
+        if (failed)
+            return Json();
+        skipWs();
+        if (pos != s.size()) {
+            fail("trailing characters");
+            return Json();
+        }
+        return v;
+    }
+
+  private:
+    static constexpr int maxDepth = 128;
+
+    void
+    fail(const std::string &msg)
+    {
+        if (!failed && err)
+            *err = msg + " at offset " + std::to_string(pos);
+        failed = true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue(int depth)
+    {
+        if (depth > maxDepth) {
+            fail("nesting too deep");
+            return Json();
+        }
+        skipWs();
+        if (pos >= s.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        switch (s[pos]) {
+          case 'n':
+            if (!literal("null"))
+                fail("bad literal");
+            return Json();
+          case 't':
+            if (!literal("true"))
+                fail("bad literal");
+            return Json(true);
+          case 'f':
+            if (!literal("false"))
+                fail("bad literal");
+            return Json(false);
+          case '"':
+            return Json(parseString());
+          case '[':
+            return parseArray(depth);
+          case '{':
+            return parseObject(depth);
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos < s.size()) {
+            const char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                break;
+            const char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > s.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape");
+                        return out;
+                    }
+                }
+                // Basic-plane only (the writer never emits surrogate
+                // pairs); encode as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (consume('-')) {}
+        while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9')
+            ++pos;
+        bool integral = pos > start && s[start] != '-';
+        if (consume('.')) {
+            integral = false;
+            while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9')
+                ++pos;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            integral = false;
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9')
+                ++pos;
+        }
+        if (pos == start) {
+            fail("expected value");
+            return Json();
+        }
+        const char *first = s.data() + start;
+        const char *last = s.data() + pos;
+        if (integral) {
+            std::uint64_t u = 0;
+            auto res = std::from_chars(first, last, u);
+            if (res.ec == std::errc() && res.ptr == last)
+                return Json(u);
+        }
+        double d = 0;
+        auto res = std::from_chars(first, last, d);
+        if (res.ec != std::errc() || res.ptr != last) {
+            fail("bad number");
+            return Json();
+        }
+        return Json(d);
+    }
+
+    Json
+    parseArray(int depth)
+    {
+        Json a = Json::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return a;
+        while (!failed) {
+            a.push(parseValue(depth + 1));
+            skipWs();
+            if (consume(']'))
+                return a;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return a;
+            }
+        }
+        return a;
+    }
+
+    Json
+    parseObject(int depth)
+    {
+        Json o = Json::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return o;
+        while (!failed) {
+            skipWs();
+            const std::string key = parseString();
+            if (failed)
+                return o;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return o;
+            }
+            o.set(key, parseValue(depth + 1));
+            skipWs();
+            if (consume('}'))
+                return o;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return o;
+            }
+        }
+        return o;
+    }
+
+    const std::string &s;
+    std::string *err;
+    std::size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    return Parser(text, err).parseDocument();
+}
+
 } // namespace pmemspec

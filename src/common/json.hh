@@ -1,10 +1,11 @@
 /**
  * @file
- * Minimal JSON value tree + writer for machine-readable results.
+ * Minimal JSON value tree + writer/parser for machine-readable results.
  *
- * The bench harness serializes every run (`BENCH_*.json`); nothing in
- * the simulator parses JSON back, so this is a writer-only library.
- * Two properties matter more than generality:
+ * The bench harness serializes every run (`BENCH_*.json`); the
+ * simulator itself never parses JSON, but offline report tools
+ * (tools/pm_top) read envelopes back through Json::parse. Two
+ * properties matter more than generality:
  *
  *   - Determinism: objects preserve insertion order and numbers are
  *     formatted with std::to_chars (shortest round-trip, locale
@@ -87,6 +88,16 @@ class Json
 
     /** Write a JSON string literal (with quotes and escapes). */
     static void writeEscaped(std::ostream &os, const std::string &s);
+
+    /**
+     * Parse a JSON document (used by report tools such as pm_top to
+     * read back bench envelopes). Non-negative integer literals
+     * without fraction/exponent become Unsigned, everything else
+     * numeric becomes Number — so parse(dump()) round-trips the
+     * writer's output byte-identically. On failure returns Null and,
+     * when @p err is non-null, stores a message with the offset.
+     */
+    static Json parse(const std::string &text, std::string *err = nullptr);
 
   private:
     void writeRec(std::ostream &os, int indent, int depth) const;

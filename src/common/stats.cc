@@ -43,11 +43,8 @@ Histogram::quantile(double q) const
     if (q > 1)
         q = 1;
     // Nearest-rank with in-bucket interpolation: find the bucket that
-    // holds the ceil(q * total)-th sample (1-based).
-    auto target = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(total)));
-    if (target == 0)
-        target = 1;
+    // holds the quantileRank(q, total)-th sample (1-based).
+    const std::uint64_t target = quantileRank(q, total);
     std::uint64_t cum = underflow;
     if (cum >= target)
         return lo;

@@ -12,6 +12,7 @@
 #ifndef PMEMSPEC_COMMON_STATS_HH
 #define PMEMSPEC_COMMON_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -23,6 +24,30 @@
 
 namespace pmemspec
 {
+
+/**
+ * Nearest-rank quantile index: the 1-based rank of the q-quantile in
+ * a population of n samples (ceil(q * n), clamped to [1, n]); 0 when
+ * n == 0. Shared by Histogram::quantile and the service harness's
+ * sorted-vector latency quantiles so both agree on the convention.
+ */
+inline std::uint64_t
+quantileRank(double q, std::uint64_t n)
+{
+    if (n == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return rank;
+}
 
 /** A named monotonically increasing counter. */
 class Counter
@@ -60,6 +85,20 @@ class Accumulator
     {
         sumVal = minVal = maxVal = 0;
         count = 0;
+    }
+
+    /** Fold another accumulator's samples into this one. */
+    void
+    absorb(const Accumulator &o)
+    {
+        if (o.count == 0)
+            return;
+        if (count == 0 || o.minVal < minVal)
+            minVal = o.minVal;
+        if (count == 0 || o.maxVal > maxVal)
+            maxVal = o.maxVal;
+        sumVal += o.sumVal;
+        count += o.count;
     }
 
     double sum() const { return sumVal; }

@@ -53,11 +53,18 @@ runExperiment(const ExperimentConfig &cfg)
     res.run = m.run();
     res.throughput = res.run.throughput();
     res.stats = m.stats().flatten();
+    observe::MetricsRegistry *mreg = m.metricsRegistry();
+    if (mreg) {
+        res.metricsEnabled = true;
+        res.metrics = mreg->series().toJson();
+        res.profile = m.specProfile()->toJson();
+    }
     if (trace::Manager *tm = m.traceManager()) {
         res.traceEvents = tm->recorded();
         res.traceDropped = tm->dropped();
         if (!tm->config().outPath.empty())
-            res.traceFile = observe::exportTraceFile(*tm);
+            res.traceFile = observe::exportTraceFile(
+                *tm, mreg ? &mreg->series() : nullptr);
     }
     return res;
 }

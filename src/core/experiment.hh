@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 #include "cpu/machine.hh"
 #include "persistency/design.hh"
@@ -90,6 +91,14 @@ struct ExperimentConfig
         machine.trace = t;
         return *this;
     }
+
+    /** Time-series metrics sampling + FASE speculation profile. */
+    ExperimentConfig &
+    withMetrics(const observe::MetricsConfig &m)
+    {
+        machine.metrics = m;
+        return *this;
+    }
 };
 
 /** Measured outcome of one experiment. */
@@ -109,6 +118,12 @@ struct ExperimentResult
     std::uint64_t traceEvents = 0;
     std::uint64_t traceDropped = 0;
     std::string traceFile;
+
+    /** Sampled time series + pmemspec-profile-v1 section, captured
+     *  before the machine dies; null Json when metrics were off. */
+    bool metricsEnabled = false;
+    Json metrics;
+    Json profile;
 
     /** Look up one snapshot scalar by qualified name. */
     double statOr(const std::string &name, double fallback = 0) const;

@@ -172,6 +172,10 @@ ResultSink::addPoint(const SweepResult &r)
             t.set("file", Json(r.result.traceFile));
         p.set("trace", std::move(t));
     }
+    if (r.result.metricsEnabled) {
+        p.set("metrics", r.result.metrics);
+        p.set("profile", r.result.profile);
+    }
     points.push(std::move(p));
 }
 

@@ -187,6 +187,11 @@ Core::execute(const TraceInstr &instr)
         }
         ++instructions;
         ++pc;
+        if (insideFase && instr.op == TraceOp::Store && specProf &&
+            specProf->enabled()) {
+            ++faseStores;
+            faseBlocks.insert(blockAlign(instr.addr));
+        }
         pushSq(instr.addr, instr.op == TraceOp::Clwb);
         return chargeIssue();
       }
@@ -314,6 +319,12 @@ Core::execute(const TraceInstr &instr)
         insideFase = true;
         faseBeginPc = pc;
         faseBeginTick = curTick();
+        if (specProf && specProf->enabled()) {
+            faseSite = specProf->site("pc:" + std::to_string(pc));
+            specProf->recordExecution(faseSite);
+            faseStores = 0;
+            faseBlocks.clear();
+        }
         PMEMSPEC_TRACE(traceMgr, FlagCore,
                        trace::EventKind::CoreFaseBegin, curTick(), id, 0,
                        {.arg = pc});
@@ -345,6 +356,10 @@ Core::closeFase()
     ++fases;
     faseLatency.sample(
         static_cast<double>(curTick() - faseBeginTick) / ticksPerNs);
+    if (specProf && specProf->enabled()) {
+        specProf->recordCommit(faseSite, faseStores, faseBlocks.size());
+        specProf->recordResidency(faseSite, curTick() - faseBeginTick);
+    }
     PMEMSPEC_TRACE(traceMgr, FlagCore, trace::EventKind::CoreFaseCommit,
                    curTick(), id, 0,
                    {.arg = (curTick() - faseBeginTick) / ticksPerNs});
@@ -494,6 +509,8 @@ Core::abortCurrentFase(Tick penalty)
     if (!insideFase || state == State::Aborting)
         return;
     ++aborts;
+    if (specProf && specProf->enabled())
+        specProf->recordAbort(faseSite, observe::AbortCause::Misspec);
     state = State::Aborting;
     abortPenalty = penalty;
     PMEMSPEC_TRACE(traceMgr, FlagCore, trace::EventKind::CoreFaseAbort,

@@ -30,6 +30,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <set>
 
 #include "common/inplace_fn.hh"
 #include "common/stats.hh"
@@ -38,6 +39,7 @@
 #include "cpu/lock_table.hh"
 #include "cpu/trace.hh"
 #include "mem/memory_system.hh"
+#include "observe/spec_profile.hh"
 #include "sim/clock.hh"
 #include "sim/sim_object.hh"
 
@@ -97,6 +99,14 @@ class Core : public sim::SimObject
 
     /** Attach the machine's event recorder. */
     void setTraceManager(trace::Manager *mgr) { traceMgr = mgr; }
+
+    /** Attach the machine's per-FASE-site speculation profile.
+     *  Timing-side sites are keyed by FaseBegin program counter. */
+    void setSpecProfile(observe::SpecProfile *p) { specProf = p; }
+
+    /** Execution state as a small integer for metrics gauges
+     *  (0 Idle, 1 Running, 2 Waiting, 3 Aborting). */
+    unsigned stateCode() const { return static_cast<unsigned>(state); }
 
     Counter instructions;
     Counter fases;
@@ -202,6 +212,13 @@ class Core : public sim::SimObject
     bool faseClosePending = false;
     std::size_t faseBeginPc = 0;
     Tick faseBeginTick = 0;
+    /** Per-FASE persist accounting for the speculation profile; only
+     *  maintained while a profile is attached and enabled. */
+    std::uint64_t faseStores = 0;
+    std::set<Addr> faseBlocks;
+    observe::SpecProfile *specProf = nullptr;
+    /** Site id of the open FASE in specProf (by FaseBegin pc). */
+    unsigned faseSite = 0;
     std::vector<unsigned> fasesLocks; ///< locks held by the open FASE
     std::optional<unsigned> waitingLockId;
     Tick abortPenalty = 0;

@@ -59,6 +59,58 @@ Machine::Machine(const MachineConfig &cfg_)
     }
     root.addCounter("misspecInterrupts", &misspecInterrupts,
                     "virtual-power-failure interrupts delivered");
+
+    if (cfg.metrics.enabled())
+        buildMetrics();
+}
+
+void
+Machine::buildMetrics()
+{
+    specProf = std::make_unique<observe::SpecProfile>();
+    for (auto &core : cores)
+        core->setSpecProfile(specProf.get());
+
+    metricsReg = std::make_unique<observe::MetricsRegistry>();
+    observe::MetricsRegistry &reg = *metricsReg;
+    for (unsigned i = 0; i < memsys->numPmcs(); ++i) {
+        const std::string p = "pmc" + std::to_string(i) + ".";
+        mem::PmController &pmc = memsys->pmc(i);
+        reg.addGauge(p + "read_q",
+                     [&pmc] { return double(pmc.readQueueOccupancy()); });
+        reg.addGauge(p + "write_q",
+                     [&pmc] { return double(pmc.writeQueueOccupancy()); });
+        reg.addCounter(p + "persists", pmc.persistsAccepted);
+        reg.addCounter(p + "poison_retries", pmc.poisonRetries);
+        reg.addCounter(p + "poisoned_reads", pmc.poisonedReads);
+        if (cfg.design == Design::PmemSpec) {
+            auto &sb = pmc.specBuffer();
+            reg.addGauge(p + "spec_occupancy",
+                         [&sb] { return double(sb.occupancy()); });
+            reg.addCounter(p + "spec_full_pauses", sb.fullPauses);
+        }
+    }
+    // In-flight persists summed over every persist-path lane: the
+    // "queue depth" the speculation window has to cover.
+    reg.addGauge("path.in_flight", [this] {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < memsys->numPaths(); ++i)
+            n += memsys->pathAt(i).occupancy();
+        return double(n);
+    });
+    for (CoreId c = 0; c < cores.size(); ++c) {
+        const std::string p = "core" + std::to_string(c) + ".";
+        Core &core = *cores[c];
+        reg.addGauge(p + "state",
+                     [&core] { return double(core.stateCode()); });
+        reg.addGauge(p + "in_fase",
+                     [&core] { return core.inFase() ? 1.0 : 0.0; });
+        reg.addCounter(p + "aborts", core.aborts);
+    }
+    reg.addCounter("misspec_interrupts", misspecInterrupts);
+
+    metricsSampler = std::make_unique<observe::MetricsSampler>(
+        eq, reg, cfg.metrics.interval);
 }
 
 void
@@ -114,6 +166,8 @@ Machine::run()
 {
     for (auto &core : cores)
         core->start();
+    if (metricsSampler)
+        metricsSampler->start();
 
     const bool drained = eq.run(cfg.maxEvents);
     panic_if(!drained, "event budget exhausted: deadlock or runaway "

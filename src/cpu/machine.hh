@@ -16,6 +16,8 @@
 #include "cpu/lock_table.hh"
 #include "cpu/trace.hh"
 #include "mem/memory_system.hh"
+#include "observe/metrics.hh"
+#include "observe/spec_profile.hh"
 #include "persistency/design.hh"
 #include "runtime/virtual_os.hh"
 #include "sim/event_queue.hh"
@@ -42,6 +44,10 @@ struct MachineConfig
     /** Event-trace / flight-recorder configuration (off by default;
      *  wired from --trace / --trace-out / --flight-recorder). */
     trace::Config trace;
+
+    /** Time-series metrics sampling (off by default; wired from
+     *  --metrics / --metrics-interval-us). */
+    observe::MetricsConfig metrics;
 };
 
 /** Result of one timing run. */
@@ -101,16 +107,31 @@ class Machine
     /** The machine's event recorder (nullptr when tracing is off). */
     trace::Manager *traceManager() { return traceMgr.get(); }
 
+    /** The machine's metrics registry (nullptr when metrics are off).
+     *  Columns cover per-PMC speculation-window occupancy, read/write
+     *  queue depth, persist-path in-flight persists, and per-core
+     *  state; sampled every cfg.metrics.interval simulated ticks. */
+    observe::MetricsRegistry *metricsRegistry() { return metricsReg.get(); }
+
+    /** Per-FASE-site speculation profile (sites keyed by FaseBegin
+     *  pc; nullptr when metrics are off). */
+    observe::SpecProfile *specProfile() { return specProf.get(); }
+
   private:
     void onMisspeculation(Addr addr, mem::MisspecKind kind);
     /** OS-relayed half of the trap: broadcast the rollback. */
     void deliverMisspecSignal(Addr fault_addr);
     void onSpecBufferFull(Tick window);
 
+    void buildMetrics();
+
     MachineConfig cfg;
     sim::EventQueue eq;
     StatGroup root;
     std::unique_ptr<trace::Manager> traceMgr;
+    std::unique_ptr<observe::MetricsRegistry> metricsReg;
+    std::unique_ptr<observe::MetricsSampler> metricsSampler;
+    std::unique_ptr<observe::SpecProfile> specProf;
     std::unique_ptr<mem::MemorySystem> memsys;
     std::unique_ptr<LockTable> locks;
     std::vector<std::unique_ptr<Core>> cores;

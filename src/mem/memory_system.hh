@@ -99,6 +99,10 @@ class MemorySystem : public sim::SimObject
     }
     PersistBuffer &pbuf(CoreId c) { return *pbufs.at(c); }
 
+    /** Flat persist-path enumeration (metrics gauges). */
+    std::size_t numPaths() const { return paths.size(); }
+    PersistPath &pathAt(std::size_t i) { return *paths.at(i); }
+
     /** Attach the machine's event recorder to every PMC (unit: PMC
      *  index, cascading to its speculation buffer) and persist-path
      *  lane (unit: lane index within the core's bundle). */

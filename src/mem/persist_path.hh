@@ -86,6 +86,9 @@ class PersistPath : public sim::SimObject
     /** @return true when nothing is in flight (spec-barrier test). */
     bool empty() const { return fifo.empty(); }
 
+    /** In-flight persists currently buffered in the path (metrics). */
+    std::size_t occupancy() const { return fifo.size(); }
+
     /** One-shot completion waiter (moved in, invoked once). */
     using Waiter = InplaceFn<void()>;
 

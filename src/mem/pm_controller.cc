@@ -172,6 +172,10 @@ PmController::readAttempt(Addr block_addr, unsigned retries_left,
         }
         if (retries_left > 0) {
             ++poisonRetries;
+            warn_once("PMC read of block %#llx hit poisoned media; "
+                      "retrying (logged once; the poisonRetries "
+                      "counter tracks the total)",
+                      static_cast<unsigned long long>(block_addr));
             readAttempt(block_addr, retries_left - 1, std::move(cb));
             return;
         }
@@ -179,6 +183,10 @@ PmController::readAttempt(Addr block_addr, unsigned retries_left,
         // requester (machine-check on data delivery), the controller
         // itself keeps serving every other block.
         ++poisonedReads;
+        warn_once("PMC poison-retry budget exhausted for block %#llx; "
+                  "delivering machine-check (logged once; the "
+                  "poisonedReads counter tracks the total)",
+                  static_cast<unsigned long long>(block_addr));
         cb(ReadStatus::Poisoned);
     });
 }

@@ -34,7 +34,8 @@ hexAddr(Addr a)
 
 Json
 chromeTraceJson(const std::vector<trace::Event> &events,
-                const trace::Meta &meta, std::uint64_t dropped)
+                const trace::Meta &meta, std::uint64_t dropped,
+                const MetricsSeries *counters)
 {
     Json evs = Json::array();
     std::map<std::uint64_t, std::string> lanes;
@@ -75,6 +76,25 @@ chromeTraceJson(const std::vector<trace::Event> &events,
         }
     }
 
+    // Counter tracks from the sampled time series: one ph "C" event
+    // per (row, column), emitted in row-major order so the document
+    // stays deterministic.
+    if (counters && !counters->empty()) {
+        for (const MetricsSeries::Row &row : counters->rows) {
+            for (std::size_t c = 0; c < counters->columns.size(); ++c) {
+                Json ce = Json::object();
+                ce.set("name", Json(counters->columns[c]));
+                ce.set("ph", Json(std::string("C")));
+                ce.set("ts", Json(static_cast<double>(row.at) / 1e6));
+                ce.set("pid", Json(std::uint64_t{0}));
+                Json args = Json::object();
+                args.set("value", Json(row.values[c]));
+                ce.set("args", std::move(args));
+                evs.push(std::move(ce));
+            }
+        }
+    }
+
     // Thread-name metadata so the viewer labels the lanes.
     for (const auto &[tid, name] : lanes) {
         Json md = Json::object();
@@ -108,12 +128,13 @@ chromeTraceJson(const std::vector<trace::Event> &events,
 bool
 writeChromeTrace(const std::string &path,
                  const std::vector<trace::Event> &events,
-                 const trace::Meta &meta, std::uint64_t dropped)
+                 const trace::Meta &meta, std::uint64_t dropped,
+                 const MetricsSeries *counters)
 {
     std::ofstream os(path);
     if (!os)
         return false;
-    chromeTraceJson(events, meta, dropped).write(os, 0);
+    chromeTraceJson(events, meta, dropped, counters).write(os, 0);
     os << "\n";
     return static_cast<bool>(os);
 }

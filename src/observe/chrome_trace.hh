@@ -15,6 +15,10 @@
  *     s               "t" (thread-scoped instant)
  *     args            { seq, addr ("0x..."), and when present: specId,
  *                       before/after (automaton state names), arg, unit }
+ *   plus, when a sampled metrics series is attached, counter events:
+ *     name            metrics column (e.g. "pmc0.spec_occupancy")
+ *     ph              "C", ts in microseconds, pid 0,
+ *     args            { value }
  *   displayTimeUnit "ns"
  *   otherData       { schema, design, specWindowTicks, specEntries,
  *                     numCores, flags, events, dropped }
@@ -28,18 +32,25 @@
 
 #include "common/json.hh"
 #include "common/trace.hh"
+#include "observe/metrics.hh"
 
 namespace pmemspec::observe
 {
 
-/** Build the Chrome trace-event document for an event stream. */
+/** Build the Chrome trace-event document for an event stream.
+ *  When `counters` is non-null, each sampled metrics row is also
+ *  emitted as Chrome counter events (ph "C", one per column, value
+ *  in args.value) so the viewer renders the time series as counter
+ *  tracks alongside the instants. */
 Json chromeTraceJson(const std::vector<trace::Event> &events,
-                     const trace::Meta &meta, std::uint64_t dropped);
+                     const trace::Meta &meta, std::uint64_t dropped,
+                     const MetricsSeries *counters = nullptr);
 
 /** Serialize chromeTraceJson() to a file. @return false on I/O error. */
 bool writeChromeTrace(const std::string &path,
                       const std::vector<trace::Event> &events,
-                      const trace::Meta &meta, std::uint64_t dropped);
+                      const trace::Meta &meta, std::uint64_t dropped,
+                      const MetricsSeries *counters = nullptr);
 
 } // namespace pmemspec::observe
 

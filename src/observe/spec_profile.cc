@@ -1,0 +1,89 @@
+#include "spec_profile.hh"
+
+namespace pmemspec::observe
+{
+
+const char *
+abortCauseName(AbortCause c)
+{
+    switch (c) {
+      case AbortCause::Misspec: return "misspec";
+      case AbortCause::Budget: return "budget";
+      case AbortCause::PowerCut: return "power_cut";
+      case AbortCause::Media: return "media";
+      case AbortCause::Corruption: return "corruption";
+      case AbortCause::Other: return "other";
+    }
+    return "other";
+}
+
+std::uint64_t
+SpecProfile::Site::abortsTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t a : aborts)
+        total += a;
+    return total;
+}
+
+unsigned
+SpecProfile::site(const std::string &name)
+{
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        if (sites_[i].name == name)
+            return static_cast<unsigned>(i);
+    }
+    sites_.push_back(Site{});
+    sites_.back().name = name;
+    return static_cast<unsigned>(sites_.size() - 1);
+}
+
+void
+SpecProfile::mergeFrom(const SpecProfile &other)
+{
+    for (const Site &o : other.sites_) {
+        Site &s = sites_.at(site(o.name));
+        s.executions += o.executions;
+        s.commits += o.commits;
+        for (std::size_t c = 0; c < kNumAbortCauses; ++c)
+            s.aborts[c] += o.aborts[c];
+        s.persists += o.persists;
+        s.dirtyBlocks += o.dirtyBlocks;
+        s.residency.absorb(o.residency);
+    }
+}
+
+Json
+SpecProfile::toJson() const
+{
+    Json j = Json::object();
+    j.set("schema", Json("pmemspec-profile-v1"));
+    Json arr = Json::array();
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        const Site &s = sites_[i];
+        Json e = Json::object();
+        e.set("site", Json(static_cast<std::uint64_t>(i)));
+        e.set("name", Json(s.name));
+        e.set("executions", Json(s.executions));
+        e.set("commits", Json(s.commits));
+        Json ab = Json::object();
+        for (std::size_t c = 0; c < kNumAbortCauses; ++c)
+            ab.set(abortCauseName(static_cast<AbortCause>(c)),
+                   Json(s.aborts[c]));
+        e.set("aborts", std::move(ab));
+        e.set("aborts_total", Json(s.abortsTotal()));
+        e.set("persists", Json(s.persists));
+        e.set("dirty_blocks", Json(s.dirtyBlocks));
+        Json res = Json::object();
+        res.set("mean_ns", Json(s.residency.mean()));
+        res.set("max_ns", Json(s.residency.max()));
+        res.set("total_ns", Json(s.residency.sum()));
+        res.set("samples", Json(s.residency.samples()));
+        e.set("residency", std::move(res));
+        arr.push(std::move(e));
+    }
+    j.set("sites", std::move(arr));
+    return j;
+}
+
+} // namespace pmemspec::observe

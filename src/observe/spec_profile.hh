@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-FASE-site speculation profile.
+ *
+ * A SpecProfile aggregates, per FASE program site (a program counter
+ * on the timing side, a named operation on the functional service
+ * side): executions, commits, aborts split by cause, persisted
+ * writes, distinct dirty blocks, and window-residency time. Sites are
+ * registered in a deterministic order per simulation domain, which
+ * makes cross-domain merges (mergeFrom) byte-stable.
+ *
+ * The profile serializes as a `pmemspec-profile-v1` JSON section in
+ * the bench envelope; the ROADMAP's profile-guided adaptive
+ * speculation item consumes exactly this shape.
+ */
+
+#ifndef PMEMSPEC_OBSERVE_SPEC_PROFILE_HH
+#define PMEMSPEC_OBSERVE_SPEC_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pmemspec::observe
+{
+
+/** Why a FASE attempt failed to commit. */
+enum class AbortCause : std::uint8_t
+{
+    Misspec,      ///< load/store misspeculation (eager trap or lazy flag)
+    Budget,       ///< abort budget exhausted, FASE gave up
+    PowerCut,     ///< injected power failure mid-FASE
+    Media,        ///< poisoned media read escalated out of the FASE
+    Corruption,   ///< unrecoverable corruption verdict
+    Other,
+};
+
+constexpr std::size_t kNumAbortCauses = 6;
+
+const char *abortCauseName(AbortCause c);
+
+class SpecProfile
+{
+  public:
+    struct Site
+    {
+        std::string name;
+        std::uint64_t executions = 0; ///< FASE attempts (incl. retries)
+        std::uint64_t commits = 0;
+        std::array<std::uint64_t, kNumAbortCauses> aborts{};
+        std::uint64_t persists = 0;     ///< logged writes that persisted
+        std::uint64_t dirtyBlocks = 0;  ///< distinct blocks per commit, summed
+        Accumulator residency;          ///< window residency per commit (ns)
+
+        std::uint64_t abortsTotal() const;
+    };
+
+    void setEnabled(bool on) { on_ = on; }
+    bool enabled() const { return on_; }
+
+    /** Find-or-register a site; ids are assigned in first-use order,
+     *  so identical registration sequences yield identical ids. */
+    unsigned site(const std::string &name);
+
+    void
+    recordExecution(unsigned site)
+    {
+        if (on_)
+            ++sites_.at(site).executions;
+    }
+
+    void
+    recordCommit(unsigned site, std::uint64_t persists,
+                 std::uint64_t dirtyBlocks)
+    {
+        if (!on_)
+            return;
+        Site &s = sites_.at(site);
+        ++s.commits;
+        s.persists += persists;
+        s.dirtyBlocks += dirtyBlocks;
+    }
+
+    void
+    recordAbort(unsigned site, AbortCause cause)
+    {
+        if (on_)
+            ++sites_.at(site).aborts[static_cast<std::size_t>(cause)];
+    }
+
+    /** Window residency of one committed FASE, in simulated ticks. */
+    void
+    recordResidency(unsigned site, Tick t)
+    {
+        if (on_)
+            sites_.at(site).residency.sample(
+                static_cast<double>(t) / ticksPerNs);
+    }
+
+    std::size_t numSites() const { return sites_.size(); }
+    const Site &siteInfo(unsigned id) const { return sites_.at(id); }
+
+    /** Fold another domain's profile in. Sites are matched by name;
+     *  domains that register sites in the same order merge into the
+     *  same site table, byte-identically. */
+    void mergeFrom(const SpecProfile &other);
+
+    /** Stable `pmemspec-profile-v1` JSON section. */
+    Json toJson() const;
+
+  private:
+    bool on_ = true;
+    std::vector<Site> sites_;
+};
+
+} // namespace pmemspec::observe
+
+#endif // PMEMSPEC_OBSERVE_SPEC_PROFILE_HH

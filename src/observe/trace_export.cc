@@ -38,7 +38,7 @@ tracePathWithLabel(const std::string &path, const std::string &label)
 }
 
 std::string
-exportTraceFile(const trace::Manager &mgr)
+exportTraceFile(const trace::Manager &mgr, const MetricsSeries *counters)
 {
     const trace::Config &cfg = mgr.config();
     if (cfg.outPath.empty())
@@ -46,7 +46,8 @@ exportTraceFile(const trace::Manager &mgr)
     const std::string path = tracePathWithLabel(cfg.outPath, cfg.label);
     const std::vector<trace::Event> events = mgr.snapshot();
     const bool ok = endsWith(path, ".json")
-        ? writeChromeTrace(path, events, mgr.meta, mgr.dropped())
+        ? writeChromeTrace(path, events, mgr.meta, mgr.dropped(),
+                           counters)
         : writeBinaryTrace(path, mgr.meta, events, mgr.dropped());
     if (!ok) {
         warn("trace export to %s failed", path.c_str());

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/trace.hh"
+#include "observe/metrics.hh"
 
 namespace pmemspec::observe
 {
@@ -24,8 +25,13 @@ std::string tracePathWithLabel(const std::string &path,
  * Export the manager's retained events to cfg.outPath (with
  * cfg.label applied). @return the path written, "" when the manager
  * has no outPath or on I/O failure (with a warn()).
+ *
+ * `counters`, when non-null, attaches a sampled metrics series as
+ * Chrome counter events -- JSON exports only; the binary log format
+ * carries instants and ignores it.
  */
-std::string exportTraceFile(const trace::Manager &mgr);
+std::string exportTraceFile(const trace::Manager &mgr,
+                            const MetricsSeries *counters = nullptr);
 
 } // namespace pmemspec::observe
 

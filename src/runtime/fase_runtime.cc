@@ -9,7 +9,8 @@ namespace pmemspec::runtime
 
 Transaction::Transaction(PersistentMemory &pm_, UndoLog &log_,
                          FaseRuntime &rt, unsigned tid_)
-    : pm(pm_), log(log_), runtime(rt), threadId(tid_)
+    : pm(pm_), log(log_), runtime(rt), threadId(tid_),
+      profiling(rt.profile && rt.profile->enabled())
 {
 }
 
@@ -36,6 +37,11 @@ Transaction::write(Addr a, const void *src, std::size_t n)
             if (loggedBlocks.insert(b).second)
                 log.logRange(b, blockBytes);
         }
+    }
+    if (profiling) {
+        ++profWrites;
+        for (Addr b = blockAlign(a); b < a + n; b += blockBytes)
+            profDirty.insert(b);
     }
     pm.write(a, src, n);
 }
@@ -178,11 +184,14 @@ FaseRuntime::setAbortBudget(std::uint64_t budget)
 }
 
 void
-FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
+FaseRuntime::runFase(unsigned tid, const FaseFn &fn,
+                     unsigned profile_site)
 {
     fatal_if(tid >= threads.size(), "bad thread id %u", tid);
     ThreadState &ts = threads[tid];
     panic_if(ts.inFase, "nested FASE on thread %u", tid);
+
+    const bool prof = profile && profile->enabled();
 
     // Abort, then either retry (the common case) or -- once this
     // invocation's budget is gone -- fail with diagnostics instead
@@ -192,19 +201,35 @@ FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
         abortFase(tid);
         if (++invocation_aborts >= abortBudget_) {
             const Addr fault = os.mailbox();
-            warn("FASE on thread %u aborted %llu times without "
-                 "committing (last fault addr %#llx); giving up",
-                 tid,
-                 static_cast<unsigned long long>(invocation_aborts),
-                 static_cast<unsigned long long>(fault));
+            // The final attempt's abort is attributed to the budget,
+            // not misspeculation, so per-site aborts partition as
+            // executions = commits + aborts_total.
+            if (prof)
+                profile->recordAbort(profile_site,
+                                     observe::AbortCause::Budget);
+            // Under a chaos soak (MisspecStorm faults) this fires per
+            // shard per storm; one line is diagnosis, thousands are
+            // noise -- the profile carries the per-site counts.
+            warn_once("FASE on thread %u aborted %llu times without "
+                      "committing (last fault addr %#llx); giving up "
+                      "(further budget trips logged once; see the "
+                      "speculation profile for counts)",
+                      tid,
+                      static_cast<unsigned long long>(invocation_aborts),
+                      static_cast<unsigned long long>(fault));
             throw AbortBudgetExhausted{tid, fault, invocation_aborts};
         }
+        if (prof)
+            profile->recordAbort(profile_site,
+                                 observe::AbortCause::Misspec);
     };
 
     for (;;) {
         // A thread clears its own flag when it begins a new FASE.
         ts.misspecFlag = false;
         ts.inFase = true;
+        if (prof)
+            profile->recordExecution(profile_site);
         Transaction tx(pm, ts.log, *this, tid);
         try {
             fn(tx);
@@ -233,6 +258,9 @@ FaseRuntime::runFase(unsigned tid, const FaseFn &fn)
         pm.persistAll();
         ts.inFase = false;
         ++committed;
+        if (prof)
+            profile->recordCommit(profile_site, tx.writesLogged(),
+                                  tx.dirtyBlockCount());
         PMEMSPEC_TRACE(traceMgr, FlagFaseRuntime,
                        trace::EventKind::RtCommit,
                        traceMgr ? traceMgr->now() : 0, tid, 0,

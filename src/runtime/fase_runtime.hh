@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/trace.hh"
+#include "observe/spec_profile.hh"
 #include "runtime/persistent_memory.hh"
 #include "runtime/undo_log.hh"
 #include "runtime/virtual_os.hh"
@@ -137,6 +138,11 @@ class Transaction
 
     unsigned tid() const { return threadId; }
 
+    /** Profiling accessors (populated only while the runtime has an
+     *  enabled SpecProfile attached; zero otherwise). */
+    std::uint64_t writesLogged() const { return profWrites; }
+    std::uint64_t dirtyBlockCount() const { return profDirty.size(); }
+
   private:
     /** Eager recovery entry point: abort here if flagged. */
     void poll();
@@ -147,6 +153,11 @@ class Transaction
     unsigned threadId;
     /** Blocks already undo-logged by this transaction. */
     std::set<Addr> loggedBlocks;
+    /** True when the runtime's SpecProfile wants per-FASE write and
+     *  dirty-block counts; kept off the hot path otherwise. */
+    bool profiling = false;
+    std::uint64_t profWrites = 0;
+    std::set<Addr> profDirty;
 };
 
 /** How aborts are delivered (Section 6.2). */
@@ -187,9 +198,12 @@ class FaseRuntime
      * Execute one failure-atomic section on behalf of thread `tid`,
      * retrying on abort until it commits or the abort budget runs
      * out (AbortBudgetExhausted). At commit the writes are made
-     * durable (the spec-barrier of Section 4.2).
+     * durable (the spec-barrier of Section 4.2). @p profile_site
+     * attributes the attempt to a SpecProfile site when a profile is
+     * attached (ignored otherwise).
      */
-    void runFase(unsigned tid, const FaseFn &fn);
+    void runFase(unsigned tid, const FaseFn &fn,
+                 unsigned profile_site = 0);
 
     /**
      * Cap the aborts a single runFase invocation may consume before
@@ -231,6 +245,12 @@ class FaseRuntime
     /** Attach an event recorder (nullptr detaches). Rt* events carry
      *  the thread id in the core field. */
     void setTraceManager(trace::Manager *mgr) { traceMgr = mgr; }
+
+    /** Attach a per-FASE-site speculation profile (nullptr detaches).
+     *  Misspec and budget aborts, commits, logged writes, and dirty
+     *  blocks are recorded against the site runFase was given. */
+    void setSpecProfile(observe::SpecProfile *p) { profile = p; }
+    observe::SpecProfile *specProfile() const { return profile; }
     LogGranularity granularity() const { return logGranularity; }
 
     /**
@@ -292,6 +312,7 @@ class FaseRuntime
     std::uint64_t abortBudget_ = 4096;
     RecoveryReport lastReport;
     trace::Manager *traceMgr = nullptr;
+    observe::SpecProfile *profile = nullptr;
     /** Flight window captured at the last misspeculation signal. */
     std::vector<std::string> lastTrapWindow;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "common/backoff.hh"
@@ -95,6 +96,10 @@ struct DomainResult
      *  of the merged global ring is in its domain's ring, so
      *  per-domain rings of the same capacity lose nothing. */
     std::vector<DomainTransition> transitions;
+
+    /** Sampled time series + FASE-site profile (cfg.metrics only). */
+    observe::MetricsSeries series;
+    observe::SpecProfile profile;
 };
 
 /**
@@ -111,6 +116,8 @@ class Domain
         : cfg(config), cost(costModel), s(shardIdx),
           shard(shardIdx, config)
     {
+        if (cfg.metrics)
+            buildMetrics();
     }
 
     DomainResult
@@ -137,15 +144,62 @@ class Domain
         for (const TapeOp &e : tape)
             eq.schedule(e.at, [this, &e] { arrive(e); });
 
+        if (sampler)
+            sampler->start();
+
         eq.run();
 
         dr.shard.finalState = shard.state();
         dr.shard.recoveries = shard.recoveries();
         verifyShard();
+        if (cfg.metrics) {
+            dr.series = reg.takeSeries();
+            dr.profile = prof;
+        }
         return std::move(dr);
     }
 
   private:
+    /** Single-writer metrics/profile for this domain: gauges read
+     *  only this domain's state, the sampler runs on this domain's
+     *  event queue, and every domain registers identical columns and
+     *  sites -- the merged output is the same for any thread count. */
+    void
+    buildMetrics()
+    {
+        shard.setSpecProfile(&prof);
+        reg.addGauge("succeeded", [this] { return double(dr.succeeded); });
+        reg.addGauge("retries", [this] { return double(dr.retries); });
+        reg.addGauge("shed_rejects",
+                     [this] { return double(dr.shedRejects); });
+        reg.addGauge("fases_committed", [this] {
+            return double(shard.runtime().fasesCommitted());
+        });
+        reg.addGauge("fases_aborted", [this] {
+            return double(shard.runtime().fasesAborted());
+        });
+        reg.addGauge("recoveries",
+                     [this] { return double(dr.shard.recoveries); });
+        // Queueing backlog: how far the shard's busy-until horizon
+        // sits past the current tick (service pressure).
+        reg.addGauge("backlog_ns", [this] {
+            const Tick now = eq.now();
+            return freeAt > now ? double(freeAt - now) / ticksPerNs
+                                : 0.0;
+        });
+        reg.addGauge("shed_window", [this] {
+            return eq.now() < shedUntil ? 1.0 : 0.0;
+        });
+        reg.addGauge("state", [this] {
+            return double(static_cast<unsigned>(shard.state()));
+        });
+        reg.addGauge("lat_mean_ns", [this] {
+            return dr.latencies.empty()
+                       ? 0.0
+                       : latSumNs / double(dr.latencies.size());
+        });
+        sampler.emplace(eq, reg, cfg.metricsInterval);
+    }
     struct PendingOp
     {
         std::uint64_t id = 0;
@@ -318,6 +372,8 @@ class Domain
             ++dr.succeeded;
             ++dr.shard.succeeded;
             dr.latencies.push_back(at - op.firstSubmit);
+            latSumNs +=
+                double(at - op.firstSubmit) / double(ticksPerNs);
         } else {
             ++dr.deadlineFailures;
         }
@@ -376,6 +432,9 @@ class Domain
 
         Tick busy = cost.opCost(cfg.design, r.work);
         Tick done = start + busy;
+        // Functional-side window residency: the modeled service time
+        // the op's FASEs spent on the shard.
+        shard.noteServiceTime(op.kind, busy);
 
         if (r.recovered) {
             const Tick ttr = r.crashed ? cost.recoveryCost(r.report)
@@ -539,6 +598,12 @@ class Domain
     Tick freeAt = 0;    ///< shard busy-until
     Tick shedUntil = 0; ///< load-shed window end
     DomainResult dr;
+
+    /** Metrics state (only populated when cfg.metrics). */
+    observe::MetricsRegistry reg;
+    observe::SpecProfile prof;
+    std::optional<observe::MetricsSampler> sampler;
+    double latSumNs = 0; ///< running sum for the lat_mean_ns gauge
 };
 
 } // namespace
@@ -566,15 +631,28 @@ ServiceResult::latencyQuantile(double q) const
         return 0;
     // The merge step sorts exactly once; quantiles only index.
     assert(std::is_sorted(latencies.begin(), latencies.end()));
-    // Nearest-rank on the sorted set: exact and deterministic.
-    const std::size_t n = latencies.size();
-    std::size_t rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(n)));
-    if (rank == 0)
-        rank = 1;
-    if (rank > n)
-        rank = n;
+    // Nearest-rank on the sorted set: exact and deterministic (the
+    // same ranking convention Histogram::quantile interpolates with).
+    const std::uint64_t rank = quantileRank(q, latencies.size());
     return latencies[rank - 1];
+}
+
+Json
+ServiceResult::metricsJson() const
+{
+    Json m = Json::object();
+    m.set("interval_us",
+          Json(metricsInterval / ticksPerNs / 1000));
+    Json sh = Json::array();
+    for (std::size_t s = 0; s < shardSeries.size(); ++s) {
+        Json row = Json::object();
+        row.set("shard", Json(static_cast<std::uint64_t>(s)));
+        row.set("series", shardSeries[s].toJson());
+        sh.push(std::move(row));
+    }
+    m.set("shards", std::move(sh));
+    m.set("total", totalSeries.toJson());
+    return m;
 }
 
 Json
@@ -647,6 +725,12 @@ ServiceResult::toJson(Tick duration) const
     for (const auto &t : transitions)
         tr.push(Json(t));
     j.set("transitions", std::move(tr));
+    // Appended last so metrics-off rows stay bit-for-bit what the
+    // pre-metrics harness emitted.
+    if (metricsEnabled) {
+        j.set("metrics", metricsJson());
+        j.set("profile", profile.toJson());
+    }
     return j;
 }
 
@@ -806,6 +890,21 @@ Service::run()
         }
         faultParts[s] = std::move(p.faults);
         transParts[s] = std::move(p.transitions);
+    }
+
+    // Metrics merge: per-shard series kept verbatim (shard order),
+    // the aggregate summed element-wise in shard order, profiles
+    // folded site-by-site -- all pure functions of simulated state,
+    // so byte-identical for any host thread count.
+    if (cfg.metrics) {
+        res.metricsEnabled = true;
+        res.metricsInterval = cfg.metricsInterval;
+        res.shardSeries.reserve(cfg.shards);
+        for (DomainResult &p : parts)
+            res.shardSeries.push_back(std::move(p.series));
+        res.totalSeries = observe::sumSeries(res.shardSeries);
+        for (const DomainResult &p : parts)
+            res.profile.mergeFrom(p.profile);
     }
     // Sort once; latencyQuantile only indexes from here on.
     std::sort(res.latencies.begin(), res.latencies.end());

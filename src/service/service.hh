@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "observe/metrics.hh"
+#include "observe/spec_profile.hh"
 #include "service/cost_model.hh"
 #include "service/service_config.hh"
 #include "service/shard.hh"
@@ -117,10 +119,23 @@ struct ServiceResult
     /** Transition flight-recorder ring, oldest first. */
     std::vector<std::string> transitions;
 
+    /** Time-series metrics + speculation profile, populated only
+     *  when cfg.metrics was on (the JSON row then carries "metrics"
+     *  and "profile" sections; with metrics off the row is
+     *  bit-for-bit what the pre-metrics harness emitted). */
+    bool metricsEnabled = false;
+    Tick metricsInterval = 0;
+    std::vector<observe::MetricsSeries> shardSeries; ///< one per shard
+    observe::MetricsSeries totalSeries; ///< element-wise shard sum
+    observe::SpecProfile profile;       ///< merged across shards
+
     double availability() const;
     double throughputOpsPerSec(Tick duration) const;
     /** Exact nearest-rank percentile of the latency set, in ticks. */
     Tick latencyQuantile(double q) const;
+
+    /** The "metrics" JSON section (interval + per-shard + total). */
+    Json metricsJson() const;
 
     /** Deterministic envelope row (service table shape). */
     Json toJson(Tick duration) const;

@@ -133,6 +133,14 @@ struct ServiceConfig
      *  any value -- this knob trades wall-clock only. */
     unsigned simThreads = 1;
 
+    /** Sample per-shard time-series metrics and the per-FASE-site
+     *  speculation profile into the result (off by default: when off
+     *  the run and its JSON are bit-for-bit the same as before the
+     *  metrics layer existed). */
+    bool metrics = false;
+    /** Simulated sampling cadence for the time series. */
+    Tick metricsInterval = nsToTicks(500000); // 500 us
+
     /** The fault schedule (may be empty for a clean baseline run). */
     std::vector<FaultEvent> faults;
 

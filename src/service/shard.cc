@@ -80,11 +80,29 @@ Shard::~Shard()
 }
 
 void
+Shard::setSpecProfile(observe::SpecProfile *p)
+{
+    prof = p;
+    rt->setSpecProfile(p);
+    if (!prof)
+        return;
+    // Fixed registration order = identical site ids in every domain.
+    sitePreload = prof->site("preload");
+    siteOp[static_cast<std::size_t>(OpKind::Read)] = prof->site("read");
+    siteOp[static_cast<std::size_t>(OpKind::Update)] =
+        prof->site("update");
+    siteOp[static_cast<std::size_t>(OpKind::Insert)] =
+        prof->site("insert");
+    siteOp[static_cast<std::size_t>(OpKind::Scan)] = prof->site("scan");
+    siteQuarantine = prof->site("quarantine");
+}
+
+void
 Shard::preload(std::uint64_t key, std::uint8_t fill)
 {
     rt->runFase(0, [&](runtime::Transaction &tx) {
         store->set(tx, key, fill);
-    });
+    }, sitePreload);
 }
 
 void
@@ -146,13 +164,16 @@ Shard::apply(OpKind op, std::uint64_t key, std::uint8_t fill,
     try {
         rt->runFase(0, [&](runtime::Transaction &tx) {
             runOp(tx, op, key, fill, scan_len, stride, value, present);
-        });
+        }, siteFor(op));
         res.status = present ? OpStatus::Ok : OpStatus::Miss;
         res.value = value;
     } catch (const faultinject::PowerFailure &) {
         counting = false;
         res.status = OpStatus::PowerFailure;
         res.crashed = true;
+        if (prof && prof->enabled())
+            prof->recordAbort(siteFor(op),
+                              observe::AbortCause::PowerCut);
         recover(res);
     } catch (const runtime::AbortBudgetExhausted &) {
         counting = false;
@@ -164,6 +185,8 @@ Shard::apply(OpKind op, std::uint64_t key, std::uint8_t fill,
     } catch (const runtime::MediaError &) {
         counting = false;
         res.status = OpStatus::MediaError;
+        if (prof && prof->enabled())
+            prof->recordAbort(siteFor(op), observe::AbortCause::Media);
         // Roll the half-open FASE back from the live log before
         // anything else touches the image.
         recover(res);
@@ -178,7 +201,7 @@ Shard::apply(OpKind op, std::uint64_t key, std::uint8_t fill,
                 try {
                     rt->runFase(0, [&](runtime::Transaction &tx) {
                         store->erase(tx, key);
-                    });
+                    }, siteQuarantine);
                     res.quarantinedKey = key;
                 } catch (const runtime::UnrecoverableCorruption &e) {
                     lastReport_ = e.report;
@@ -193,6 +216,9 @@ Shard::apply(OpKind op, std::uint64_t key, std::uint8_t fill,
         // fail-safe); same verdict as a failed recovery.
         counting = false;
         res.status = OpStatus::MediaError;
+        if (prof && prof->enabled())
+            prof->recordAbort(siteFor(op),
+                              observe::AbortCause::Corruption);
         res.recovered = true;
         res.report = e.report;
         lastReport_ = e.report;

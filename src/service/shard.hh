@@ -36,6 +36,7 @@
 
 #include "faultinject/fault_injector.hh"
 #include "faultinject/fault_plan.hh"
+#include "observe/spec_profile.hh"
 #include "pmds/kv_store.hh"
 #include "runtime/fase_runtime.hh"
 #include "runtime/persistent_memory.hh"
@@ -125,6 +126,22 @@ class Shard
     /** Disarm every plan (a fired PowerCutPlan stays spent). */
     void disarmPlans();
 
+    /** Attach a per-FASE-site speculation profile (nullptr detaches).
+     *  Registers this shard's named sites -- preload, one per OpKind,
+     *  quarantine -- in a fixed order, so every domain's profile has
+     *  an identical site table and merges byte-stably; also forwards
+     *  the profile to the runtime for misspec/budget attribution. */
+    void setSpecProfile(observe::SpecProfile *p);
+
+    /** Window-residency attribution for the profile: the service's
+     *  modeled busy time for one op at the op's site. */
+    void
+    noteServiceTime(OpKind op, Tick busy)
+    {
+        if (prof && prof->enabled())
+            prof->recordResidency(siteFor(op), busy);
+    }
+
     // ---- Introspection ----
 
     unsigned id() const { return shardId; }
@@ -175,6 +192,16 @@ class Shard
      *  because the queue drains at every commit). */
     std::optional<std::size_t> pendingCut;
     std::size_t cutWrites = 0;
+
+    /** Per-FASE-site profile (owned by the service's domain). */
+    observe::SpecProfile *prof = nullptr;
+    unsigned sitePreload = 0;
+    unsigned siteOp[4] = {0, 0, 0, 0}; ///< indexed by OpKind
+    unsigned siteQuarantine = 0;
+    unsigned siteFor(OpKind op) const
+    {
+        return siteOp[static_cast<std::size_t>(op)];
+    }
 };
 
 } // namespace pmemspec::service
